@@ -1,0 +1,114 @@
+"""Microbenchmarks of the simulation's hot paths.
+
+These time the components the headline experiments lean on, so performance
+regressions show up here before they make the table sweeps unbearable:
+event-queue throughput, provider lookups, threshold circuits and a short
+full-platform run.
+"""
+
+import pytest
+
+from repro.core.models.network_interaction import NetworkInteractionModel
+from repro.core.thresholds import ThresholdUnit
+from repro.noc.packet import Packet
+from repro.noc.routing import ProviderDirectory, RoutingPolicy
+from repro.noc.topology import MeshTopology
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+from repro.sim.engine import Simulator
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule + dispatch 10k no-op events."""
+
+    def run():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.schedule(i % 997, lambda: None)
+        sim.run_until(1_000)
+        return sim.dispatched_events
+
+    dispatched = benchmark(run)
+    assert dispatched == 10_000
+
+
+def test_nearest_provider_lookup(benchmark):
+    """Ranked-provider query on a realistically populated directory."""
+    topology = MeshTopology(16, 8)
+    directory = ProviderDirectory(topology)
+    for node in topology.node_ids():
+        directory.set_task(node, (node % 5) % 3 + 1)
+
+    def run():
+        total = 0
+        for origin in range(0, 128, 7):
+            provider = directory.nearest_provider(origin, 2)
+            total += provider if provider is not None else 0
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_fault_table_rebuild(benchmark):
+    """BFS routing-table construction around a damaged region."""
+    topology = MeshTopology(16, 8)
+    # A 12-router dead band across row y=2 (columns 2..13); the mesh stays
+    # connected around its edges, so every path needs a detour.
+    faults = {topology.node_id(x, 2) for x in range(2, 14)}
+
+    def run():
+        policy = RoutingPolicy(topology)
+        policy.set_failed(faults)
+        hops = 0
+        for dest in (0, 17, 127):
+            if dest in faults:
+                continue
+            hops += len(policy.path(100, dest))
+        return hops
+
+    assert benchmark(run) > 0
+
+
+def test_threshold_circuit_rate(benchmark):
+    """Excitation rate through a threshold unit (the per-packet cost)."""
+
+    def run():
+        unit = ThresholdUnit(threshold=24)
+        for _ in range(5_000):
+            unit.excite()
+        return unit.fires
+
+    assert benchmark(run) == 200
+
+
+def test_ni_model_event_rate(benchmark):
+    """Per-routing-event cost of the NI model's full pathway."""
+    from tests.core.conftest import StubAim
+
+    sim = Simulator(seed=0)
+    aim = StubAim(sim)
+    model = NetworkInteractionModel((1, 2, 3), threshold=1000)
+    model.bind(aim)
+    packet = Packet(0, dest_task=2)
+    packet.hops = 1
+
+    def run():
+        for _ in range(2_000):
+            model.on_packet_routed(aim, packet, to_internal=False,
+                                   injected=False)
+        return model.counter_values()[2]
+
+    assert benchmark(run) >= 0
+
+
+def test_small_platform_run(benchmark):
+    """Full-stack 4x4 run, 50 simulated ms."""
+
+    def run():
+        platform = CenturionPlatform(
+            PlatformConfig.small(), model_name="ffw", seed=1
+        )
+        platform.run(50_000)
+        return platform.workload.stats()["generated"]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

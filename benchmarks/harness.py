@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Environment knobs
+-----------------
+REPRO_RUNS
+    Independent seeded runs per (model, fault-count) cell.  Default 15;
+    the paper uses 100 — set ``REPRO_RUNS=100`` (and expect roughly an
+    hour on one core) for the full-fidelity sweep.
+REPRO_SEED_BASE
+    First seed of the canonical seed list (default 1000).
+"""
+
+import os
+
+from repro.experiments.runner import default_seeds, run_batch
+
+#: Paper model set, in table order.
+MODELS = ("none", "network_interaction", "foraging_for_work")
+
+#: Paper fault counts for Table II.
+TABLE2_FAULTS = (0, 2, 4, 8, 16, 32)
+
+
+def runs_per_cell(default=15):
+    return int(os.environ.get("REPRO_RUNS", str(default)))
+
+
+def seed_base():
+    return int(os.environ.get("REPRO_SEED_BASE", "1000"))
+
+
+def gather_zero_fault(config, runs=None):
+    """Zero-fault result lists per model (Table I input)."""
+    seeds = default_seeds(runs or runs_per_cell(), base=seed_base())
+    return {
+        model: run_batch(model, seeds, faults=0, config=config)
+        for model in MODELS
+    }
+
+
+def gather_faulted(config, fault_counts=TABLE2_FAULTS, runs=None):
+    """Result lists per (model, fault count) (Table II input)."""
+    seeds = default_seeds(runs or runs_per_cell(), base=seed_base())
+    results = {}
+    for model in MODELS:
+        for faults in fault_counts:
+            results[(model, faults)] = run_batch(
+                model, seeds, faults=faults, config=config
+            )
+    return results

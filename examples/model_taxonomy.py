@@ -1,0 +1,82 @@
+"""The six division-of-labour model classes of Figure 1, as running code.
+
+Prints the factor taxonomy (which external/internal factors each model
+class draws on — the numbered arrows of the paper's Figure 1), then runs
+every model on a small platform and shows its behavioural signature:
+how often it switched tasks and what census it converged to.
+
+Run:  python examples/model_taxonomy.py
+"""
+
+from repro import CenturionPlatform, PlatformConfig
+from repro.core.models import MODEL_REGISTRY
+from repro.core.models.base import FACTORS
+
+
+def print_taxonomy():
+    factor_order = [
+        (FACTORS.LOCATION, "external"),
+        (FACTORS.NESTMATES, "external"),
+        (FACTORS.TASK_NEEDS, "external"),
+        (FACTORS.STIMULUS, "external"),
+        (FACTORS.GENES, "internal"),
+        (FACTORS.INNATE_THRESHOLD, "internal"),
+        (FACTORS.BEHAVIOURAL_STATE, "internal"),
+        (FACTORS.EXPERIENCE, "internal"),
+        (FACTORS.ONTOGENY, "internal"),
+    ]
+    models = sorted(
+        (cls for cls in MODEL_REGISTRY.values()
+         if cls.model_number is not None),
+        key=lambda cls: cls.model_number,
+    )
+    print("Figure 1 factor taxonomy (x = model class uses factor):")
+    print()
+    name_width = 28
+    header = " " * name_width + "".join(
+        "  {}".format(cls.model_number) for cls in models
+    )
+    print(header)
+    for factor, kind in factor_order:
+        row = "{:<24}{:>4}".format(factor, kind[:3])
+        for cls in models:
+            row += "  {}".format("x" if factor in cls.factors else ".")
+        print(row)
+    print()
+    for cls in models:
+        print("  {} = {} ({!r})".format(
+            cls.model_number, cls.__name__, cls.name))
+
+
+def run_signatures():
+    print()
+    print("Behavioural signature of each model (4x4 grid, 200 ms):")
+    print()
+    print("{:<24} {:>8} {:>8} {:>14}".format(
+        "model", "switches", "joins", "census 1/2/3"))
+    for name in sorted(
+        MODEL_REGISTRY,
+        key=lambda n: (MODEL_REGISTRY[n].model_number or 0),
+    ):
+        platform = CenturionPlatform(
+            PlatformConfig.small(), model_name=name, seed=5
+        )
+        platform.run()
+        census = platform.task_census()
+        print("{:<24} {:>8} {:>8} {:>14}".format(
+            name,
+            platform.total_task_switches(),
+            platform.workload.joins,
+            "{}/{}/{}".format(
+                census.get(1, 0), census.get(2, 0), census.get(3, 0)
+            ),
+        ))
+
+
+def main():
+    print_taxonomy()
+    run_signatures()
+
+
+if __name__ == "__main__":
+    main()

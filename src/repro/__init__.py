@@ -1,0 +1,34 @@
+"""repro — reproduction of "Embedded Social Insect-Inspired Intelligence
+Networks for System-level Runtime Management" (Rowlings, Tyrrell, Trefzer;
+DATE 2020).
+
+A pure-Python model of the Centurion 128-core NoC platform with per-node
+social-insect intelligence modules performing decentralised runtime task
+allocation and fault recovery.  Quickstart:
+
+>>> from repro import CenturionPlatform, PlatformConfig
+>>> platform = CenturionPlatform(
+...     PlatformConfig.small(), model_name="ffw", seed=1)
+>>> series = platform.run()       # doctest: +SKIP
+>>> series.active_nodes[-1]       # doctest: +SKIP
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+from repro.core.models import MODEL_REGISTRY, create_model
+from repro.experiments.runner import run_batch, run_single
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CenturionPlatform",
+    "PlatformConfig",
+    "MODEL_REGISTRY",
+    "create_model",
+    "run_single",
+    "run_batch",
+    "__version__",
+]

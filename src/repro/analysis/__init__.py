@@ -1,0 +1,38 @@
+"""Analysis toolkit: spatial maps, latency statistics and data export.
+
+The paper's experiments are evaluated through the time series of Figure 4
+and the quartile tables; this package adds the inspection tools a user of
+the platform needs beyond those headline artefacts:
+
+* :mod:`repro.analysis.heatmap` — ASCII spatial maps of the grid (task
+  topology, activity, temperature, queue depth, failures) at any instant;
+* :mod:`repro.analysis.latency` — streaming packet-latency statistics
+  (mean, quantiles, histogram) collected per task;
+* :mod:`repro.analysis.export` — CSV/JSON export of metric series and
+  batch results for external plotting.
+"""
+
+from repro.analysis.export import (
+    results_to_csv,
+    results_to_json,
+    series_to_csv,
+)
+from repro.analysis.heatmap import (
+    activity_map,
+    render_grid,
+    task_map,
+    temperature_map,
+)
+from repro.analysis.latency import LatencyCollector, LatencyStats
+
+__all__ = [
+    "LatencyCollector",
+    "LatencyStats",
+    "activity_map",
+    "render_grid",
+    "results_to_csv",
+    "results_to_json",
+    "series_to_csv",
+    "task_map",
+    "temperature_map",
+]

@@ -1,0 +1,65 @@
+"""CSV/JSON export of metric series and batch results.
+
+Everything the experiments produce is plain Python data; these helpers
+flatten it into the two formats external plotting pipelines consume.  CSV
+writing uses the standard library ``csv`` module; JSON export is plain
+``json`` with deterministic key ordering, so exported artefacts diff
+cleanly across runs.
+"""
+
+import csv
+import json
+
+
+def series_to_csv(series, path):
+    """Write a :class:`~repro.app.metrics.MetricsSeries` to CSV.
+
+    One row per sampling window; census columns are expanded to
+    ``census_task_<id>``.  Returns the number of data rows written.
+    """
+    census_columns = [
+        "census_task_{}".format(task) for task in series.task_ids
+    ]
+    header = list(series.COLUMNS) + census_columns
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(len(series)):
+            row = [getattr(series, column)[i] for column in series.COLUMNS]
+            row += [series.census[task][i] for task in series.task_ids]
+            writer.writerow(row)
+    return len(series)
+
+
+def results_to_csv(results, path):
+    """Write a list of :class:`RunResult` summaries to CSV."""
+    if not results:
+        raise ValueError("no results to export")
+    rows = [result.as_row() for result in results]
+    header = list(rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=header)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def results_to_json(results, path, include_series=False):
+    """Write results (optionally with full series) to a JSON file."""
+    payload = []
+    for result in results:
+        entry = result.as_row()
+        entry["app_stats"] = result.app_stats
+        entry["noc_stats"] = result.noc_stats
+        if include_series and result.series is not None:
+            entry["series"] = result.series.as_dict()
+        payload.append(entry)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return len(payload)
+
+
+def load_results_json(path):
+    """Load a ``results_to_json`` file back as a list of dicts."""
+    with open(path) as handle:
+        return json.load(handle)

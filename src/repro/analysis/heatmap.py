@@ -1,0 +1,132 @@
+"""ASCII spatial maps of the Centurion grid.
+
+The emergent behaviours of the paper are *spatial* — providers migrate onto
+traffic corridors, recovery re-forms the topology around a dead region —
+and a per-node map at a chosen instant shows them directly.  Values are
+rendered row by row in grid orientation (row 0 at the top, matching
+Figure 2's layout with the Experiment Controller attached to the top row).
+"""
+
+
+def render_grid(topology, values, formatter=None, legend=None, title=None):
+    """Render a mapping ``node id -> value`` as an ASCII grid.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`repro.noc.topology.MeshTopology`.
+    values:
+        Mapping from node id to any value; missing nodes render as ``.``.
+    formatter:
+        Callable value -> short string (default ``str``, truncated to the
+        widest cell).
+    legend / title:
+        Optional footer/header lines.
+    """
+    fmt = formatter if formatter is not None else str
+    cells = {}
+    width = 1
+    for node in topology.node_ids():
+        if node in values:
+            text = fmt(values[node])
+        else:
+            text = "."
+        cells[node] = text
+        width = max(width, len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    for y in range(topology.height):
+        row = " ".join(
+            cells[topology.node_id(x, y)].rjust(width)
+            for x in range(topology.width)
+        )
+        lines.append(row)
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def task_map(platform):
+    """Current task topology: one symbol per node, ``X`` for dead nodes.
+
+    This is the map whose before/after difference is the paper's
+    "reorganising the task topology to reflect the task graph".
+    """
+    values = {}
+    for node_id, pe in platform.pes.items():
+        if pe.halted:
+            values[node_id] = "X"
+        elif pe.task_id is None:
+            values[node_id] = "."
+        else:
+            values[node_id] = str(pe.task_id)
+    return render_grid(
+        platform.network.topology,
+        values,
+        title="task topology (X = failed node)",
+        legend="tasks: " + ", ".join(
+            "{}={}".format(t.task_id, t.name)
+            for t in platform.graph.tasks.values()
+        ),
+    )
+
+
+def activity_map(platform, scale=None):
+    """Per-node completed executions, bucketed 0-9 (``*`` = above scale)."""
+    completions = {
+        node_id: pe.completions for node_id, pe in platform.pes.items()
+    }
+    top = max(completions.values(), default=0)
+    bucket = scale if scale is not None else max(1, top // 9 or 1)
+
+    def fmt(count):
+        level = count // bucket
+        return "*" if level > 9 else str(level)
+
+    return render_grid(
+        platform.network.topology,
+        completions,
+        formatter=fmt,
+        title="execution activity (0-9, * above scale; bucket={})".format(
+            bucket),
+    )
+
+
+def temperature_map(platform):
+    """Per-node temperature in whole °C at the current instant."""
+    now = platform.sim.now
+    values = {
+        node_id: int(round(pe.thermal.temperature(now)))
+        for node_id, pe in platform.pes.items()
+    }
+    return render_grid(
+        platform.network.topology,
+        values,
+        title="temperature map (degC) at t={} us".format(now),
+    )
+
+
+def switch_map(platform):
+    """Per-node intelligence-driven task switches (saturates at 9)."""
+    values = {
+        node_id: min(9, pe.task_switches)
+        for node_id, pe in platform.pes.items()
+    }
+    return render_grid(
+        platform.network.topology,
+        values,
+        title="task switches per node (capped at 9)",
+    )
+
+
+def queue_map(platform):
+    """Instantaneous internal-port queue depth per node."""
+    values = {
+        node_id: len(pe.queue) for node_id, pe in platform.pes.items()
+    }
+    return render_grid(
+        platform.network.topology,
+        values,
+        title="queue depth at t={} us".format(platform.sim.now),
+    )

@@ -1,0 +1,28 @@
+"""Application layer: task graphs, workloads, mappings and metrics.
+
+The paper's workload is the Figure 3 fork-join task graph ("out-tree and an
+in-tree phase ... the ratio experimented with is 1:3:1"): task 1 sources
+fork work into three task-2 branches which join at task 3, and the goal is
+to maximise the number of concurrently-sustained instances of this graph.
+"""
+
+from repro.app.mapping import (
+    balanced_mapping,
+    clustered_mapping,
+    random_mapping,
+)
+from repro.app.metrics import MetricsSampler, MetricsSeries
+from repro.app.taskgraph import Task, TaskGraph, fork_join_graph
+from repro.app.workload import ForkJoinWorkload
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "fork_join_graph",
+    "ForkJoinWorkload",
+    "MetricsSampler",
+    "MetricsSeries",
+    "random_mapping",
+    "balanced_mapping",
+    "clustered_mapping",
+]

@@ -1,0 +1,138 @@
+"""Runtime metrics sampling (the data behind Figure 4 and Tables I/II).
+
+A :class:`MetricsSampler` ticks every ``window_us`` (default 10 ms) and
+records, per window:
+
+* ``active_nodes`` — nodes that completed at least one packet-consuming
+  execution in the window: the paper's "Application Throughput / Nodes
+  Active" axis;
+* ``executions`` / ``sink_executions`` / ``joins`` — work completed;
+* ``task_switches`` — intelligence-driven switches in the window (the task
+  churn visible in Figure 4's distribution panels);
+* ``census`` — nodes per task (the task-distribution lines, whose settled
+  levels are the 1:3:1 ≈ 25/75/25 of the paper's panels);
+* ``alive_nodes`` — surviving node count (drops at fault injection).
+"""
+
+from repro.sim.process import PeriodicProcess
+
+
+class MetricsSeries:
+    """Columnar store of sampled windows."""
+
+    COLUMNS = (
+        "time_ms",
+        "active_nodes",
+        "executions",
+        "sink_executions",
+        "joins",
+        "task_switches",
+        "alive_nodes",
+    )
+
+    def __init__(self, task_ids):
+        self.task_ids = tuple(task_ids)
+        for column in self.COLUMNS:
+            setattr(self, column, [])
+        self.census = {tid: [] for tid in self.task_ids}
+
+    def append(self, **values):
+        """Append one window's values (census passed as a dict)."""
+        census = values.pop("census")
+        for column in self.COLUMNS:
+            getattr(self, column).append(values[column])
+        for tid in self.task_ids:
+            self.census[tid].append(census.get(tid, 0))
+
+    def __len__(self):
+        return len(self.time_ms)
+
+    def window_slice(self, start_ms, end_ms):
+        """Indices of samples with start_ms <= t < end_ms."""
+        return [
+            i for i, t in enumerate(self.time_ms) if start_ms <= t < end_ms
+        ]
+
+    def mean(self, column, start_ms=None, end_ms=None):
+        """Mean of a column, optionally over a time range."""
+        values = getattr(self, column)
+        if start_ms is None and end_ms is None:
+            selected = values
+        else:
+            lo = start_ms if start_ms is not None else float("-inf")
+            hi = end_ms if end_ms is not None else float("inf")
+            selected = [
+                v for v, t in zip(values, self.time_ms) if lo <= t < hi
+            ]
+        if not selected:
+            return 0.0
+        return sum(selected) / len(selected)
+
+    def as_dict(self):
+        """Plain-dict export (JSON-friendly)."""
+        data = {column: list(getattr(self, column)) for column in self.COLUMNS}
+        data["census"] = {tid: list(v) for tid, v in self.census.items()}
+        return data
+
+
+class MetricsSampler:
+    """Periodic sampler over the platform's PEs and workload."""
+
+    def __init__(self, sim, pes, directory, workload, window_us=10_000):
+        self.sim = sim
+        self.pes = list(pes)
+        self.directory = directory
+        self.workload = workload
+        self.window_us = window_us
+        task_ids = workload.graph.task_ids()
+        self.series = MetricsSeries(task_ids)
+        self._last_sink_execs = 0
+        self._last_joins = 0
+        self._last_switches = 0
+        self._process = PeriodicProcess(
+            sim, window_us, self._sample, priority=sim.PRIORITY_SAMPLE
+        )
+
+    def start(self):
+        """Begin sampling at the window period; returns self."""
+        self._process.start()
+        return self
+
+    def stop(self):
+        """Stop sampling (existing samples are kept)."""
+        self._process.stop()
+
+    #: Every this many windows the workload's join state is pruned, which
+    #: bounds memory in open-ended simulations.
+    PRUNE_EVERY_WINDOWS = 100
+
+    def _sample(self, _process):
+        if (
+            len(self.series) % self.PRUNE_EVERY_WINDOWS
+            == self.PRUNE_EVERY_WINDOWS - 1
+        ):
+            self.workload.prune_stale_joins()
+        active = 0
+        executions = 0
+        for pe in self.pes:
+            done = pe.drain_window_executions()
+            executions += done
+            if done > 0:
+                active += 1
+        sink_total = self.workload.sink_task_executions()
+        joins_total = self.workload.joins
+        switches_total = sum(pe.task_switches for pe in self.pes)
+        alive = sum(1 for pe in self.pes if not pe.halted)
+        self.series.append(
+            time_ms=self.sim.now / 1000.0,
+            active_nodes=active,
+            executions=executions,
+            sink_executions=sink_total - self._last_sink_execs,
+            joins=joins_total - self._last_joins,
+            task_switches=switches_total - self._last_switches,
+            alive_nodes=alive,
+            census=self.directory.task_census(),
+        )
+        self._last_sink_execs = sink_total
+        self._last_joins = joins_total
+        self._last_switches = switches_total

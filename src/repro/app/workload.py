@@ -1,0 +1,219 @@
+"""Fork-join workload logic (the application running on Centurion).
+
+The :class:`ForkJoinWorkload` is the object processing elements consult for
+application behaviour: source generation, per-task service times and what a
+completed execution emits.  It also owns the join bookkeeping — which
+branches of which graph instance have been processed by the sink task — and
+the application-level statistics the experiments read (generated packets,
+per-stage executions, joined instances).
+
+Generation semantics follow the paper: "task 1 (the source task) produces
+1 packet every 4 ms".  Successive packets from one source cycle through the
+fork's branch indices, so three generation periods produce the three
+branches of one instance of the Figure 3 graph.
+"""
+
+from repro.noc.packet import Packet
+from repro.app.taskgraph import TASK_SINK
+
+
+class ForkJoinWorkload:
+    """Application hooks + join bookkeeping for a fork-join task graph.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (time source for deadline stamping).
+    graph:
+        A :class:`repro.app.taskgraph.TaskGraph`, typically from
+        :func:`repro.app.taskgraph.fork_join_graph`.
+    packet_flits:
+        Wormhole length of application packets.
+    """
+
+    def __init__(self, sim, graph, packet_flits=4, multicast=False):
+        self.sim = sim
+        self.graph = graph
+        self.packet_flits = packet_flits
+        #: Multicast fork dispatch (paper §V future work): a source emits
+        #: all fork branches of an instance together, once every
+        #: ``fork_width`` generation periods, and the network fans them out
+        #: to distinct providers.  Average demand matches the sequential
+        #: mode; the branches travel concurrently instead.
+        self.multicast = multicast
+        self._pending_joins = {}
+        self._completed_joins = set()
+        # Statistics ---------------------------------------------------------
+        self.generated = 0
+        self.executions_by_task = {tid: 0 for tid in graph.task_ids()}
+        self.joins = 0
+        self.duplicate_branches = 0
+        self.results_fed_back = 0
+
+    # -- PE-facing API ---------------------------------------------------------
+
+    def generation_period(self, task_id):
+        """Generation period of a task or ``None`` (PE source wiring).
+
+        In multicast mode a source emits a whole instance (all branches)
+        per tick, so the period stretches by ``fork_width`` to keep the
+        average demand identical to the sequential mode.
+        """
+        task = self.graph.tasks.get(task_id)
+        if task is None or task.generation_period_us is None:
+            return None
+        if self.multicast:
+            return task.generation_period_us * self.graph.fork_width
+        return task.generation_period_us
+
+    def service_time(self, task_id):
+        """Nominal service time for one packet of ``task_id``."""
+        return self.graph.task(task_id).service_us
+
+    def packets_for_generation(self, pe):
+        """Packets a source node emits on one generation tick.
+
+        Sequential mode (the paper's system): one branch per tick, cycling
+        through the fork's branch indices — three ticks build one instance.
+        Multicast mode (paper §V extension): all branches of one instance
+        per (stretched) tick, fanned to distinct providers by
+        :meth:`repro.noc.network.Network.send_multicast`.
+        """
+        task = self.graph.tasks.get(pe.task_id)
+        if task is None or not task.is_source or task.downstream is None:
+            return []
+        seq = pe._gen_seq
+        width = self.graph.fork_width
+        if self.multicast:
+            instance = (pe.node_id, seq)
+            packets = [
+                self._make_packet(pe, task, instance=instance, branch=b)
+                for b in range(width)
+            ]
+            self.generated += width
+            return packets
+        instance = (pe.node_id, seq // width)
+        branch = seq % width
+        self.generated += 1
+        return [self._make_packet(pe, task, instance=instance, branch=branch)]
+
+    def packets_after_execution(self, pe, packet):
+        """Packets emitted after ``pe`` finished executing ``packet``."""
+        task = self.graph.tasks.get(pe.task_id)
+        if task is None:
+            return []
+        self.executions_by_task[task.task_id] = (
+            self.executions_by_task.get(task.task_id, 0) + 1
+        )
+        if task.emits_on_join:
+            return self._handle_join(pe, task, packet)
+        if task.downstream is None or task.is_source:
+            # Source tasks emit on generation ticks only; their executions
+            # are the sinking of fed-back join results.
+            return []
+        return [
+            self._make_packet(
+                pe, task, instance=packet.instance, branch=packet.branch
+            )
+        ]
+
+    # -- join bookkeeping ----------------------------------------------------------
+
+    def _handle_join(self, pe, task, packet):
+        """Record a branch at the join task; emit the result when complete."""
+        instance = packet.instance
+        if instance is None:
+            return []
+        if instance in self._completed_joins:
+            # A straggler branch re-delivered after its instance already
+            # joined (e.g. a diverted duplicate); it must not re-open the
+            # instance, or the join could be counted twice.
+            self.duplicate_branches += 1
+            return []
+        branches = self._pending_joins.setdefault(instance, set())
+        if packet.branch in branches:
+            self.duplicate_branches += 1
+            return []
+        branches.add(packet.branch)
+        if len(branches) < self.graph.fork_width:
+            return []
+        del self._pending_joins[instance]
+        self._completed_joins.add(instance)
+        self.joins += 1
+        if task.downstream is None:
+            return []
+        self.results_fed_back += 1
+        return [self._make_packet(pe, task, instance=instance, branch=None)]
+
+    def _make_packet(self, pe, task, instance, branch):
+        now = self.sim.now
+        deadline = (
+            now + task.deadline_us if task.deadline_us is not None else None
+        )
+        return Packet(
+            src_node=pe.node_id,
+            dest_task=task.downstream,
+            size_flits=self.packet_flits,
+            created_at=now,
+            instance=instance,
+            branch=branch,
+            deadline=deadline,
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def pending_join_count(self):
+        """Instances with at least one but not all branches at the sink."""
+        return len(self._pending_joins)
+
+    def prune_stale_joins(self, older_than_instances=50_000):
+        """Bound join-state growth in very long simulations.
+
+        Instances are keyed ``(source node, sequence)``; entries whose
+        sequence lags the newest by more than the given count can never
+        complete in practice (their branches were dropped) and are removed,
+        along with the completed-instance memory of the same vintage.
+        Returns the number of pending entries pruned.
+        """
+        if not self._pending_joins and not self._completed_joins:
+            return 0
+        keys = list(self._pending_joins) + list(self._completed_joins)
+        newest = max(seq for (_node, seq) in keys)
+        stale = [
+            key
+            for key in self._pending_joins
+            if newest - key[1] > older_than_instances
+        ]
+        for key in stale:
+            del self._pending_joins[key]
+        self._completed_joins = {
+            key
+            for key in self._completed_joins
+            if newest - key[1] <= older_than_instances
+        }
+        return len(stale)
+
+    def sink_task_executions(self):
+        """Executions completed by the join (sink) task so far."""
+        return self.executions_by_task.get(TASK_SINK, 0)
+
+    def source_generations(self):
+        """Packets generated by source tasks so far."""
+        return self.generated
+
+    def stats(self):
+        """Snapshot of all application counters."""
+        return {
+            "generated": self.generated,
+            "executions_by_task": dict(self.executions_by_task),
+            "joins": self.joins,
+            "pending_joins": self.pending_join_count,
+            "duplicate_branches": self.duplicate_branches,
+            "results_fed_back": self.results_fed_back,
+        }
+
+    def __repr__(self):
+        return "ForkJoinWorkload(generated={}, joins={})".format(
+            self.generated, self.joins
+        )

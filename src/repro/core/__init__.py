@@ -1,0 +1,59 @@
+"""Social-insect-inspired embedded intelligence (the paper's contribution).
+
+The package mirrors the hardware structure of Figure 2:
+
+* :mod:`repro.core.spikes`, :mod:`repro.core.counters`,
+  :mod:`repro.core.comparators`, :mod:`repro.core.thresholds` — the
+  PicoBlaze software platform's building blocks: impulse/binary conversion,
+  excitatory/inhibitory counters, vector-match comparators and
+  threshold decision circuits (Figure 2b);
+* :mod:`repro.core.pathways` — composition of those blocks into
+  monitor→threshold→knob decision pathways;
+* :mod:`repro.core.monitors` / :mod:`repro.core.knobs` — the sense/actuate
+  surface of Figure 2a;
+* :mod:`repro.core.aim` — the Artificial Intelligence Module that hosts a
+  model program on one node;
+* :mod:`repro.core.models` — the six division-of-labour model classes of
+  Figure 1, including the two the paper evaluates (Network Interaction and
+  Foraging for Work).
+"""
+
+from repro.core.aim import ArtificialIntelligenceModule
+from repro.core.comparators import VectorMatchComparator
+from repro.core.counters import SaturatingCounter
+from repro.core.pathways import DecisionPathway
+from repro.core.spikes import ImpulseLine, SpikeIntegrator, VectorToSpikes
+from repro.core.thresholds import ThresholdUnit
+from repro.core.models import (
+    MODEL_REGISTRY,
+    ForagingForWorkModel,
+    InformationTransferModel,
+    IntelligenceModel,
+    NetworkInteractionModel,
+    NoIntelligenceModel,
+    ResponseThresholdModel,
+    SelfReinforcementModel,
+    SocialInhibitionModel,
+    create_model,
+)
+
+__all__ = [
+    "ArtificialIntelligenceModule",
+    "VectorMatchComparator",
+    "SaturatingCounter",
+    "DecisionPathway",
+    "ImpulseLine",
+    "SpikeIntegrator",
+    "VectorToSpikes",
+    "ThresholdUnit",
+    "MODEL_REGISTRY",
+    "ForagingForWorkModel",
+    "InformationTransferModel",
+    "IntelligenceModel",
+    "NetworkInteractionModel",
+    "NoIntelligenceModel",
+    "ResponseThresholdModel",
+    "SelfReinforcementModel",
+    "SocialInhibitionModel",
+    "create_model",
+]

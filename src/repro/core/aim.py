@@ -1,0 +1,150 @@
+"""The Artificial Intelligence Module (AIM).
+
+One AIM per node, as in Figure 2a: a PicoBlaze-class controller wired
+between the node's monitors and knobs, hosting an uploaded intelligence
+program (a :class:`repro.core.models.base.IntelligenceModel`).  The AIM
+
+* subscribes to the router (routing-event impulses) and the processing
+  element (internal-sink / execution / task-change impulses),
+* runs a periodic timer tick (the "Timer Tick" input of Figure 2b) that
+  drives time-based model logic such as the Foraging-for-Work timeout,
+* exposes the knob bank to the model, and
+* accepts RCAP-style parameter writes so the Experiment Controller can
+  retune models remotely at runtime.
+"""
+
+from repro.core.knobs import standard_knob_bank
+from repro.core.monitors import standard_monitor_bank
+from repro.sim.process import PeriodicProcess
+
+
+class ArtificialIntelligenceModule:
+    """Embedded intelligence for one node.
+
+    Parameters
+    ----------
+    sim, pe, router, network:
+        The node's simulator, processing element, router and the NoC.
+    model:
+        The intelligence program to host (may be ``None`` for an
+        unmanaged node; a model can also be uploaded later through
+        :meth:`upload_model`, like the Experiment Controller uploading
+        PicoBlaze code).
+    tick_period_us:
+        Timer-tick period for the model's ``on_tick``.
+    """
+
+    def __init__(self, sim, pe, router, network, model=None,
+                 tick_period_us=1000):
+        self.sim = sim
+        self.pe = pe
+        self.router = router
+        self.network = network
+        self.node_id = pe.node_id
+        self.monitors = standard_monitor_bank(sim, pe, router, network)
+        self.knobs = standard_knob_bank(pe, router)
+        self.model = None
+        self._tick = PeriodicProcess(
+            sim, tick_period_us, self._on_tick,
+            priority=sim.PRIORITY_SAMPLE,
+        )
+        router.add_observer(self)
+        pe.add_observer(self)
+        if model is not None:
+            self.upload_model(model)
+
+    # -- program upload ------------------------------------------------------
+
+    def upload_model(self, model):
+        """Install (or replace) the hosted intelligence program."""
+        self.model = model
+        if model is not None:
+            model.bind(self)
+            self.knobs["task_select"].reason = model.name
+            if not self._tick.running:
+                self._tick.start()
+        else:
+            self._tick.stop()
+
+    def shutdown(self):
+        """Stop the timer tick (used when the node dies)."""
+        self._tick.stop()
+
+    # -- router monitor relay ---------------------------------------------------
+
+    def on_packet_routed(self, router, packet, to_internal):
+        """Router monitor relay (filters locally-injected packets)."""
+        if self.model is None or self.pe.halted:
+            return
+        # Locally-injected packets (hop count still zero) are the node's own
+        # emissions, not observed traffic; monitors sit on the mesh input
+        # ports so they do not see them.
+        injected = packet.hops == 0 and not to_internal
+        self.model.on_packet_routed(
+            self, packet, to_internal=to_internal, injected=injected
+        )
+
+    def on_packet_dropped(self, router, packet):
+        """Router drop-event relay."""
+        if self.model is None or self.pe.halted:
+            return
+        self.model.on_packet_dropped(self, packet)
+
+    # -- processing element monitor relay -----------------------------------------
+
+    def on_internal_sink(self, pe, packet):
+        """PE internal-sink monitor relay."""
+        if self.model is not None and not pe.halted:
+            self.model.on_internal_sink(self, packet)
+
+    def on_execution_complete(self, pe, task_id):
+        """PE execution-complete monitor relay."""
+        if self.model is not None and not pe.halted:
+            self.model.on_execution_complete(self, task_id)
+
+    def on_task_changed(self, pe, old, new):
+        """PE task-change monitor relay."""
+        if self.model is not None and not pe.halted:
+            self.model.on_task_changed(self, old, new)
+
+    # -- timer tick -----------------------------------------------------------------
+
+    def _on_tick(self, _process):
+        if self.model is None or self.pe.halted:
+            return
+        self.model.on_tick(self, self.sim.now)
+
+    # -- knob helpers used by models ---------------------------------------------------
+
+    def switch_task(self, task_id):
+        """Pull the task-select knob; returns the resulting task."""
+        return self.knobs["task_select"].set(task_id)
+
+    def current_task(self):
+        """The node's current task (monitor view)."""
+        return self.pe.task_id
+
+    def set_frequency(self, mhz):
+        """Pull the DVFS knob; returns the applied frequency."""
+        return self.knobs["frequency"].set(mhz)
+
+    def set_clock_enabled(self, enabled):
+        """Pull the clock-enable knob."""
+        return self.knobs["clock_enable"].set(enabled)
+
+    def reset_node(self):
+        """Pull the reset knob."""
+        return self.knobs["reset"].set()
+
+    # -- RCAP parameter access --------------------------------------------------------------
+
+    def rcap_write_params(self, params):
+        """Remote model retuning (thresholds etc.) via the RCAP."""
+        if self.model is None:
+            raise RuntimeError("no model uploaded to AIM {}".format(
+                self.node_id))
+        self.model.configure(**params)
+
+    def __repr__(self):
+        model_name = self.model.name if self.model is not None else None
+        return "AIM(node={}, model={})".format(self.node_id, model_name)

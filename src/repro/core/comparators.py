@@ -1,0 +1,62 @@
+"""Vector-match comparators.
+
+The PicoBlaze platform provides "logical comparators that generate impulses
+when vector inputs match" (paper §III-C).  A comparator watches a vector
+input (e.g. the destination-task field of a routed packet header) and fires
+its output impulse line when the input matches its pattern — this is how
+one routing-event monitor is demultiplexed into per-task impulse streams
+for the Network Interaction model's per-task thresholders.
+"""
+
+from repro.core.spikes import ImpulseLine
+
+
+class VectorMatchComparator:
+    """Fires an impulse when the presented vector equals the pattern.
+
+    Parameters
+    ----------
+    pattern:
+        Value to match (any equality-comparable object; in hardware this is
+        a bit vector such as a task id field).
+    mask:
+        Optional callable applied to presented values before comparison,
+        modelling a bit mask (e.g. ``lambda v: v & 0x0F``).
+    name:
+        Label for the output line.
+    """
+
+    def __init__(self, pattern, mask=None, name=None):
+        self.pattern = pattern
+        self.mask = mask
+        self.output = ImpulseLine(
+            name if name is not None else "match({!r})".format(pattern)
+        )
+        self.presentations = 0
+        self.matches = 0
+
+    def present(self, value, payload=None):
+        """Present a vector; fires the output on match.
+
+        Returns True on a match.  The impulse payload defaults to the
+        matched value so downstream logic can stay generic.
+        """
+        self.presentations += 1
+        candidate = self.mask(value) if self.mask is not None else value
+        if candidate == self.pattern:
+            self.matches += 1
+            self.output.fire(value if payload is None else payload)
+            return True
+        return False
+
+    @property
+    def match_rate(self):
+        """Fraction of presentations that matched (0.0 when unused)."""
+        if self.presentations == 0:
+            return 0.0
+        return self.matches / self.presentations
+
+    def __repr__(self):
+        return "VectorMatchComparator(pattern={!r}, {}/{} matched)".format(
+            self.pattern, self.matches, self.presentations
+        )

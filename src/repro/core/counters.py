@@ -1,0 +1,76 @@
+"""Excitatory/inhibitory saturating counters.
+
+Figure 2b: "A series of impulse based inputs are read into the Picoblaze,
+when they fire a counter is either increased (excitatory) or decreased
+(inhibitory)."  The counter saturates at configurable bounds (hardware
+registers do not wrap in this design) and supports an optional leak applied
+on demand, which the adaptive-threshold extension models use.
+"""
+
+
+class SaturatingCounter:
+    """Bounded up/down counter driven by impulses.
+
+    Parameters
+    ----------
+    minimum, maximum:
+        Saturation bounds (inclusive).
+    initial:
+        Starting value; must lie within the bounds.
+    """
+
+    def __init__(self, minimum=0, maximum=255, initial=0):
+        if minimum > maximum:
+            raise ValueError(
+                "minimum {} above maximum {}".format(minimum, maximum)
+            )
+        if not minimum <= initial <= maximum:
+            raise ValueError(
+                "initial {} outside [{}, {}]".format(initial, minimum, maximum)
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+        self.value = initial
+        self.excitations = 0
+        self.inhibitions = 0
+
+    def excite(self, _payload=None, amount=1):
+        """Increase by ``amount`` (saturating); connectable to a line."""
+        self.excitations += 1
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def inhibit(self, _payload=None, amount=1):
+        """Decrease by ``amount`` (saturating); connectable to a line."""
+        self.inhibitions += 1
+        self.value = max(self.minimum, self.value - amount)
+        return self.value
+
+    def leak(self, amount=1):
+        """Decay toward the minimum by ``amount`` (no event accounting)."""
+        self.value = max(self.minimum, self.value - amount)
+        return self.value
+
+    def reset(self, value=None):
+        """Set back to ``value`` (default: the minimum)."""
+        target = self.minimum if value is None else value
+        if not self.minimum <= target <= self.maximum:
+            raise ValueError(
+                "reset value {} outside [{}, {}]".format(
+                    target, self.minimum, self.maximum
+                )
+            )
+        self.value = target
+
+    @property
+    def saturated_high(self):
+        return self.value == self.maximum
+
+    @property
+    def saturated_low(self):
+        return self.value == self.minimum
+
+    def __repr__(self):
+        return "SaturatingCounter({} in [{}, {}])".format(
+            self.value, self.minimum, self.maximum
+        )

@@ -1,0 +1,121 @@
+"""Knobs — the actuating half of the Figure 2a surface.
+
+"The intelligence module can also affect several aspects of the router and
+processor, referred to as 'knobs'": task select, clock enable, reset and
+node-level frequency scaling.  Each knob wraps the underlying action with
+uniform ``set()`` semantics and an actuation counter, so experiments can
+report how often each model pulled each lever.
+"""
+
+
+class Knob:
+    """Base knob: counts actuations, delegates to ``_apply``."""
+
+    def __init__(self, name):
+        self.name = name
+        self.actuations = 0
+
+    def set(self, *args, **kwargs):
+        """Actuate the knob (counted); returns the applied state."""
+        self.actuations += 1
+        return self._apply(*args, **kwargs)
+
+    def _apply(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}(actuations={})".format(type(self).__name__, self.actuations)
+
+
+class TaskSelectKnob(Knob):
+    """"The task the processor node should be running"."""
+
+    def __init__(self, pe, reason="aim"):
+        super().__init__("task_select")
+        self._pe = pe
+        self.reason = reason
+
+    def _apply(self, task_id):
+        self._pe.set_task(task_id, reason=self.reason)
+        return self._pe.task_id
+
+
+class ClockEnableKnob(Knob):
+    """"Clock Enable for the processor node"."""
+
+    def __init__(self, pe):
+        super().__init__("clock_enable")
+        self._pe = pe
+
+    def _apply(self, enabled):
+        self._pe.set_clock_enabled(enabled)
+        return self._pe.clock_enabled
+
+
+class ResetKnob(Knob):
+    """"Reset of the processor node"."""
+
+    def __init__(self, pe):
+        super().__init__("reset")
+        self._pe = pe
+
+    def _apply(self):
+        self._pe.reset()
+        return True
+
+
+class FrequencyKnob(Knob):
+    """"Node-level frequency scaling (10MHz - 300MHz)"."""
+
+    def __init__(self, pe):
+        super().__init__("frequency")
+        self._pe = pe
+
+    def _apply(self, mhz):
+        return self._pe.frequency.set_frequency(mhz)
+
+
+class RouterConfigKnob(Knob):
+    """RCAP writes to the local router's settings."""
+
+    def __init__(self, router):
+        super().__init__("router_config")
+        self._router = router
+
+    def _apply(self, settings):
+        self._router.rcap_write(settings)
+        return self._router.rcap_read()
+
+
+class KnobBank:
+    """All knobs of one node, keyed by name."""
+
+    def __init__(self, knobs):
+        self._knobs = dict(knobs)
+
+    def __getitem__(self, name):
+        return self._knobs[name]
+
+    def __contains__(self, name):
+        return name in self._knobs
+
+    def names(self):
+        """Sorted knob names."""
+        return sorted(self._knobs)
+
+    def actuation_counts(self):
+        """Mapping knob name -> number of actuations."""
+        return {name: knob.actuations for name, knob in self._knobs.items()}
+
+
+def standard_knob_bank(pe, router, reason="aim"):
+    """Build the full Figure 2a knob set for one node."""
+    return KnobBank(
+        {
+            "task_select": TaskSelectKnob(pe, reason=reason),
+            "clock_enable": ClockEnableKnob(pe),
+            "reset": ResetKnob(pe),
+            "frequency": FrequencyKnob(pe),
+            "router_config": RouterConfigKnob(router),
+        }
+    )

@@ -1,0 +1,47 @@
+"""The six division-of-labour model classes of Figure 1.
+
+"Six classes of ant behaviour models are generally used in the literature,
+with each one differing in what information source is used by individuals to
+determine which task they should be undertaking" (paper §II-A):
+
+1. response threshold,
+2. integrated information transfer,
+3. self-reinforcement,
+4. social inhibition,
+5. foraging for work,
+6. network task allocation.
+
+The paper's evaluation embeds (5) and (6) — its "Foraging for Work" and
+"Network Interaction" intelligence schemes — in the AIMs; the other four are
+implemented here over the same stimulus-threshold primitives as extensions
+and are exercised by tests and examples.
+"""
+
+from repro.core.models.base import (
+    FACTORS,
+    IntelligenceModel,
+)
+from repro.core.models.adaptive_ni import AdaptiveNetworkInteractionModel
+from repro.core.models.no_intelligence import NoIntelligenceModel
+from repro.core.models.network_interaction import NetworkInteractionModel
+from repro.core.models.foraging_for_work import ForagingForWorkModel
+from repro.core.models.response_threshold import ResponseThresholdModel
+from repro.core.models.information_transfer import InformationTransferModel
+from repro.core.models.self_reinforcement import SelfReinforcementModel
+from repro.core.models.social_inhibition import SocialInhibitionModel
+from repro.core.models.registry import MODEL_REGISTRY, create_model
+
+__all__ = [
+    "FACTORS",
+    "IntelligenceModel",
+    "AdaptiveNetworkInteractionModel",
+    "NoIntelligenceModel",
+    "NetworkInteractionModel",
+    "ForagingForWorkModel",
+    "ResponseThresholdModel",
+    "InformationTransferModel",
+    "SelfReinforcementModel",
+    "SocialInhibitionModel",
+    "MODEL_REGISTRY",
+    "create_model",
+]

@@ -1,0 +1,81 @@
+"""Adaptive-threshold Network Interaction (paper §V extension).
+
+"Many of the models shown in Figure 1 feature mechanisms for adaptive
+thresholds, which are not yet considered in this paper."  This model adds
+the mechanism to the Network Interaction scheme: instead of one fixed
+switching threshold for every node, each node scales its threshold with
+the traffic rate its router actually sees.
+
+Rationale: with a fixed threshold, a node on a trunk corridor crosses it in
+milliseconds (constant churn) while a node in a quiet corner never crosses
+it at all (inert).  Normalising the threshold to the locally observed rate
+makes the switching decision mean the same thing everywhere: "a clearly
+disproportionate share of the traffic I route is for task T".
+
+Implementation: an exponential moving average of routed packets per tick
+sets the threshold once per tick to
+``clamp(rate_ema × window_ticks, min_threshold, max_threshold)`` on every
+task thresholder; the decision circuit itself is the unchanged NI pathway.
+"""
+
+from repro.core.models.base import FACTORS
+from repro.core.models.network_interaction import NetworkInteractionModel
+
+
+class AdaptiveNetworkInteractionModel(NetworkInteractionModel):
+    """NI with traffic-rate-normalised switching thresholds.
+
+    Parameters
+    ----------
+    window_ticks:
+        The threshold corresponds to this many ticks' worth of average
+        traffic concentrated on one task.
+    ema_alpha:
+        Smoothing factor of the per-tick rate estimate.
+    min_threshold / max_threshold:
+        Clamp range for the adapted threshold.
+    """
+
+    name = "adaptive_network_interaction"
+    model_number = 6
+    factors = NetworkInteractionModel.factors | frozenset(
+        {FACTORS.EXPERIENCE}
+    )
+
+    def __init__(self, task_ids, threshold=24, window_ticks=12,
+                 ema_alpha=0.2, min_threshold=6, max_threshold=512):
+        super().__init__(task_ids, threshold=threshold)
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if min_threshold < 1 or max_threshold < min_threshold:
+            raise ValueError("invalid threshold clamp range")
+        self.window_ticks = window_ticks
+        self.ema_alpha = ema_alpha
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.rate_ema = 0.0
+        self._events_this_tick = 0
+
+    def on_packet_routed(self, aim, packet, to_internal, injected):
+        """Count the event into the rate estimate, then act as NI."""
+        if not injected:
+            self._events_this_tick += 1
+        super().on_packet_routed(aim, packet, to_internal, injected)
+
+    def on_tick(self, aim, now):
+        """Update the rate EMA and re-normalise every threshold."""
+        self.rate_ema += self.ema_alpha * (
+            self._events_this_tick - self.rate_ema
+        )
+        self._events_this_tick = 0
+        adapted = int(round(self.rate_ema * self.window_ticks))
+        adapted = max(self.min_threshold, min(self.max_threshold, adapted))
+        if adapted != self.threshold:
+            self.threshold = adapted
+            for unit in self.pathway.thresholds.values():
+                unit.set_threshold(adapted)
+
+    @property
+    def current_threshold(self):
+        """The threshold currently applied to every task unit."""
+        return self.threshold

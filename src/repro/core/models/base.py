@@ -1,0 +1,99 @@
+"""Model base class and the Figure 1 factor taxonomy.
+
+Figure 1 of the paper illustrates the factors influencing an individual's
+choice to undertake a task — external (location, nestmates, task needs,
+perceived stimulus) and internal (genes, innate response threshold,
+behavioural state, experience, ontogeny) — with numbered arrows marking
+which of the six model classes uses each factor.  The :data:`FACTORS`
+constants and each model's ``factors`` class attribute encode that taxonomy
+so it is testable and printable (see ``examples/model_taxonomy.py``).
+"""
+
+
+class FACTORS:
+    """Decision factors from Figure 1 (string constants)."""
+
+    # External factors
+    LOCATION = "location"
+    NESTMATES = "nestmates"
+    TASK_NEEDS = "task_needs"
+    STIMULUS = "stimulus"
+    # Internal factors
+    GENES = "genes"
+    INNATE_THRESHOLD = "innate_response_threshold"
+    BEHAVIOURAL_STATE = "behavioural_state"
+    EXPERIENCE = "experience"
+    ONTOGENY = "ontogeny"
+
+    EXTERNAL = frozenset({LOCATION, NESTMATES, TASK_NEEDS, STIMULUS})
+    INTERNAL = frozenset(
+        {GENES, INNATE_THRESHOLD, BEHAVIOURAL_STATE, EXPERIENCE, ONTOGENY}
+    )
+    ALL = EXTERNAL | INTERNAL
+
+
+class IntelligenceModel:
+    """Base class for AIM-hosted intelligence programs.
+
+    Subclasses override the monitor-event hooks they care about; every hook
+    receives the hosting :class:`~repro.core.aim.ArtificialIntelligenceModule`
+    so the model reaches monitors and knobs without holding node state
+    itself (one model instance per node, created by the registry).
+
+    Class attributes
+    ----------------
+    name:
+        Short identifier used in experiment configs and traces.
+    model_number:
+        The Figure 1 class number (1–6), or ``None`` for the baseline.
+    factors:
+        The subset of :class:`FACTORS` this model class draws on.
+    """
+
+    name = "base"
+    model_number = None
+    factors = frozenset()
+
+    def __init__(self, task_ids):
+        self.task_ids = tuple(task_ids)
+        if not self.task_ids:
+            raise ValueError("model needs at least one task id")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, aim):
+        """Called once when uploaded to an AIM; build pathways here."""
+
+    def configure(self, **params):
+        """RCAP parameter update; unknown keys raise ``KeyError``.
+
+        The default implementation sets same-named public attributes that
+        already exist, which covers simple scalar tunables.
+        """
+        for key, value in params.items():
+            if not hasattr(self, key) or key.startswith("_"):
+                raise KeyError("unknown model parameter {!r}".format(key))
+            setattr(self, key, value)
+
+    # -- monitor event hooks (default: ignore) ----------------------------------
+
+    def on_packet_routed(self, aim, packet, to_internal, injected):
+        """A packet crossed this node's router."""
+
+    def on_internal_sink(self, aim, packet):
+        """A packet was accepted by the local processing element."""
+
+    def on_packet_dropped(self, aim, packet):
+        """A packet was dropped at this node's router (lost work)."""
+
+    def on_execution_complete(self, aim, task_id):
+        """The local PE finished executing one packet/generation."""
+
+    def on_task_changed(self, aim, old, new):
+        """The local node's task assignment changed (any cause)."""
+
+    def on_tick(self, aim, now):
+        """Periodic timer tick from the AIM."""
+
+    def __repr__(self):
+        return "{}(tasks={})".format(type(self).__name__, list(self.task_ids))

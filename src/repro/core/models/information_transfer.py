@@ -1,0 +1,58 @@
+"""Integrated information transfer model (Figure 1 class 2).
+
+"Integrated information transfer [adds] information exchange between
+individuals to response threshold" (paper §II-A).  On top of the leaky
+stimulus-threshold machinery of :class:`ResponseThresholdModel`, each tick
+the node reads the neighbour-task monitor (the sideband between adjacent
+AIMs) and applies inhibition to the stimulus of every task a neighbour is
+already performing: a nestmate visibly working task *T* is information that
+*T*'s demand is being met nearby, so the local individual needs a stronger
+stimulus before it also takes *T* up.  This spreads providers apart
+spatially instead of clumping them on the same corridor.
+"""
+
+from repro.core.models.base import FACTORS
+from repro.core.models.response_threshold import ResponseThresholdModel
+
+
+class InformationTransferModel(ResponseThresholdModel):
+    """Response thresholds + neighbour-task inhibition.
+
+    Parameters
+    ----------
+    neighbor_inhibition:
+        Inhibition applied per neighbouring provider per tick.
+    """
+
+    name = "information_transfer"
+    model_number = 2
+    factors = frozenset(
+        {FACTORS.STIMULUS, FACTORS.TASK_NEEDS, FACTORS.NESTMATES,
+         FACTORS.INNATE_THRESHOLD, FACTORS.GENES}
+    )
+
+    def __init__(self, task_ids, threshold_low=12, threshold_high=36,
+                 leak_per_tick=1, neighbor_inhibition=1):
+        super().__init__(
+            task_ids,
+            threshold_low=threshold_low,
+            threshold_high=threshold_high,
+            leak_per_tick=leak_per_tick,
+        )
+        if neighbor_inhibition < 0:
+            raise ValueError("neighbor_inhibition must be >= 0")
+        self.neighbor_inhibition = neighbor_inhibition
+
+    def on_tick(self, aim, now):
+        """Leak stimulus, then apply neighbour-provider inhibition."""
+        super().on_tick(aim, now)
+        if self.neighbor_inhibition <= 0:
+            return
+        neighbor_tasks = aim.monitors.read("neighbor_tasks")
+        for task in neighbor_tasks.values():
+            if task is None:
+                continue
+            key = "task-{}".format(task)
+            unit = self.pathway.thresholds.get(key)
+            if unit is not None:
+                unit.inhibit(amount=self.neighbor_inhibition)

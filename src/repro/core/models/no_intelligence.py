@@ -1,0 +1,18 @@
+"""The paper's baseline: no embedded intelligence.
+
+"An implementation using a heuristic fixed routing approach (minimised
+Manhattan distance)" — task assignments stay at the initial mapping and
+packets follow nearest-provider XY routes, both of which are substrate
+behaviour; the model itself does nothing.  It exists so every experiment
+runs through an identical code path regardless of configuration.
+"""
+
+from repro.core.models.base import IntelligenceModel
+
+
+class NoIntelligenceModel(IntelligenceModel):
+    """Inert model: never touches a knob."""
+
+    name = "none"
+    model_number = None
+    factors = frozenset()

@@ -1,0 +1,57 @@
+"""Model registry: names → model classes.
+
+Experiments select intelligence schemes by name (``"none"``,
+``"network_interaction"``, ``"foraging_for_work"``, ...); this registry maps
+those names to classes and builds per-node instances.  Every node gets its
+own model instance — the AIMs are independent controllers, exactly like the
+per-node PicoBlazes.
+"""
+
+from repro.core.models.adaptive_ni import AdaptiveNetworkInteractionModel
+from repro.core.models.foraging_for_work import ForagingForWorkModel
+from repro.core.models.information_transfer import InformationTransferModel
+from repro.core.models.network_interaction import NetworkInteractionModel
+from repro.core.models.no_intelligence import NoIntelligenceModel
+from repro.core.models.response_threshold import ResponseThresholdModel
+from repro.core.models.self_reinforcement import SelfReinforcementModel
+from repro.core.models.social_inhibition import SocialInhibitionModel
+
+MODEL_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        NoIntelligenceModel,
+        NetworkInteractionModel,
+        AdaptiveNetworkInteractionModel,
+        ForagingForWorkModel,
+        ResponseThresholdModel,
+        InformationTransferModel,
+        SelfReinforcementModel,
+        SocialInhibitionModel,
+    )
+}
+
+#: Aliases matching the paper's abbreviations.
+MODEL_ALIASES = {
+    "ni": "network_interaction",
+    "ffw": "foraging_for_work",
+    "ani": "adaptive_network_interaction",
+    "no_intelligence": "none",
+}
+
+
+def resolve_model_name(name):
+    """Canonical registry name for ``name`` (accepts paper aliases)."""
+    canonical = MODEL_ALIASES.get(name, name)
+    if canonical not in MODEL_REGISTRY:
+        raise KeyError(
+            "unknown model {!r}; known: {}".format(
+                name, sorted(MODEL_REGISTRY) + sorted(MODEL_ALIASES)
+            )
+        )
+    return canonical
+
+
+def create_model(name, task_ids, **params):
+    """Instantiate a fresh model by (possibly aliased) name."""
+    cls = MODEL_REGISTRY[resolve_model_name(name)]
+    return cls(task_ids, **params)

@@ -1,0 +1,108 @@
+"""Response threshold model (Figure 1 class 1).
+
+The classic fixed-threshold division-of-labour model: each individual holds
+an innate, genetically-varied response threshold per task; when the
+perceived task stimulus exceeds the individual's threshold, it engages in
+that task.  Low-threshold individuals respond first, producing an elastic
+workforce.
+
+Stimulus here is the per-task routed-traffic intensity at the node's router
+(demand made visible by the NoC), integrated in a leaky counter: impulses
+excite it, a per-tick leak decays it, so sustained — not merely cumulative —
+demand is what crosses thresholds.  Genetic variation comes from a per-node
+RNG stream seeding thresholds uniformly in ``[threshold_low, threshold_high]``.
+
+This model class is *not* one of the two the paper evaluates on Centurion;
+it is implemented over the same primitives as an extension (paper §II-A
+introduces it as the foundation the evaluated models build on).
+"""
+
+from repro.core.models.base import FACTORS, IntelligenceModel
+from repro.core.pathways import DecisionPathway
+
+
+class ResponseThresholdModel(IntelligenceModel):
+    """Leaky per-task stimulus vs. innate per-task thresholds.
+
+    Parameters
+    ----------
+    task_ids:
+        All task ids.
+    threshold_low, threshold_high:
+        Innate threshold range; each node draws one threshold per task.
+    leak_per_tick:
+        Stimulus decay applied on each AIM tick.
+    """
+
+    name = "response_threshold"
+    model_number = 1
+    factors = frozenset(
+        {FACTORS.STIMULUS, FACTORS.TASK_NEEDS, FACTORS.GENES,
+         FACTORS.INNATE_THRESHOLD}
+    )
+
+    def __init__(self, task_ids, threshold_low=12, threshold_high=36,
+                 leak_per_tick=1):
+        super().__init__(task_ids)
+        if threshold_low < 1 or threshold_high < threshold_low:
+            raise ValueError("invalid threshold range [{}, {}]".format(
+                threshold_low, threshold_high))
+        self.threshold_low = threshold_low
+        self.threshold_high = threshold_high
+        self.leak_per_tick = leak_per_tick
+        self.pathway = None
+        self.innate_thresholds = {}
+        self.switches_fired = 0
+
+    def bind(self, aim):
+        """Draw innate thresholds (genes) and build the pathway."""
+        rng = aim.sim.rng.stream(
+            "{}-genes-{}".format(self.name, aim.node_id)
+        )
+        self.pathway = DecisionPathway(
+            "{}-node-{}".format(self.name, aim.node_id)
+        )
+        for task_id in self.task_ids:
+            threshold = rng.randint(self.threshold_low, self.threshold_high)
+            self.innate_thresholds[task_id] = threshold
+            key = "task-{}".format(task_id)
+            self.pathway.add_comparator(key, task_id)
+            unit = self.pathway.add_threshold(
+                key, threshold, reset_on_fire=False
+            )
+            self.pathway.wire(key, key)
+            unit.output.connect(
+                lambda _payload, t=task_id, a=aim: self._fire(a, t)
+            )
+
+    # -- monitor events -------------------------------------------------------
+
+    def on_packet_routed(self, aim, packet, to_internal, injected):
+        """Observed traffic is the task stimulus."""
+        if injected:
+            return
+        self.pathway.present(packet.dest_task)
+
+    def on_tick(self, aim, now):
+        """Leak the stimulus so only sustained demand crosses thresholds."""
+        if self.leak_per_tick <= 0:
+            return
+        for unit in self.pathway.thresholds.values():
+            unit.counter.leak(self.leak_per_tick)
+
+    # -- decision -------------------------------------------------------------------
+
+    def _fire(self, aim, task_id):
+        self.switches_fired += 1
+        self.pathway.reset_all()
+        if aim.current_task() != task_id:
+            aim.switch_task(task_id)
+
+    def stimulus_levels(self):
+        """Current per-task stimulus (tests/examples)."""
+        if self.pathway is None:
+            return {}
+        return {
+            task: self.pathway.thresholds["task-{}".format(task)].value
+            for task in self.task_ids
+        }

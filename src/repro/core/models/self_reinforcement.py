@@ -1,0 +1,82 @@
+"""Self-reinforcement model (Figure 1 class 3).
+
+"Self-reinforcement to balance specialists vs. generalists through
+experience feedback" (paper §II-A).  Thresholds are no longer innate
+constants: every successful execution of the current task *lowers* that
+task's threshold (practice makes the individual more responsive — a
+specialist emerges), while long disuse slowly *raises* a task's threshold
+back toward its innate level (skills fade).  This uses the adaptive-
+threshold mechanism the paper's discussion section names as a next step
+("many of the models shown in Figure 1 feature mechanisms for adaptive
+thresholds, which are not yet considered in this paper") — implemented here
+as an extension.
+"""
+
+from repro.core.models.base import FACTORS
+from repro.core.models.response_threshold import ResponseThresholdModel
+
+
+class SelfReinforcementModel(ResponseThresholdModel):
+    """Response thresholds with experience-driven threshold adaptation.
+
+    Parameters
+    ----------
+    reinforcement:
+        Threshold decrease per completed execution of a task.
+    forgetting:
+        Threshold increase applied to *other* tasks every
+        ``forgetting_period_ticks`` ticks, capped at the innate level.
+    """
+
+    name = "self_reinforcement"
+    model_number = 3
+    factors = frozenset(
+        {FACTORS.STIMULUS, FACTORS.EXPERIENCE, FACTORS.INNATE_THRESHOLD,
+         FACTORS.GENES}
+    )
+
+    #: Hard floor so a specialist can still be out-stimulated.
+    MIN_THRESHOLD = 4
+
+    def __init__(self, task_ids, threshold_low=12, threshold_high=36,
+                 leak_per_tick=1, reinforcement=1, forgetting=1,
+                 forgetting_period_ticks=10):
+        super().__init__(
+            task_ids,
+            threshold_low=threshold_low,
+            threshold_high=threshold_high,
+            leak_per_tick=leak_per_tick,
+        )
+        self.reinforcement = reinforcement
+        self.forgetting = forgetting
+        self.forgetting_period_ticks = forgetting_period_ticks
+        self._ticks = 0
+
+    def on_execution_complete(self, aim, task_id):
+        """Experience: performing a task lowers its response threshold."""
+        unit = self.pathway.thresholds.get("task-{}".format(task_id))
+        if unit is not None:
+            unit.adapt(-self.reinforcement, minimum=self.MIN_THRESHOLD)
+
+    def on_tick(self, aim, now):
+        """Leak stimulus and let unused skills fade toward innate."""
+        super().on_tick(aim, now)
+        self._ticks += 1
+        if self._ticks % self.forgetting_period_ticks != 0:
+            return
+        current = aim.current_task()
+        for task_id in self.task_ids:
+            if task_id == current:
+                continue
+            unit = self.pathway.thresholds["task-{}".format(task_id)]
+            innate = self.innate_thresholds[task_id]
+            if unit.threshold < innate:
+                unit.adapt(self.forgetting, maximum=innate)
+
+    def specialisation(self):
+        """Innate-minus-current threshold per task (how specialised)."""
+        return {
+            task: self.innate_thresholds[task]
+            - self.pathway.thresholds["task-{}".format(task)].threshold
+            for task in self.task_ids
+        }

@@ -1,0 +1,77 @@
+"""Social inhibition model (Figure 1 class 4).
+
+"Social inhibition: large numbers of experienced specialists inhibit more
+take up" (paper §II-A).  Like information transfer, the node senses what
+its nestmates (mesh neighbours) are doing, but the interaction is stronger
+and state-dependent: each neighbouring provider of task *T* both applies
+per-tick inhibition to *T*'s stimulus and — once the number of neighbouring
+*T*-providers reaches ``crowd_size`` — temporarily *raises* the local
+threshold for *T* (the behavioural-state effect: surrounded by specialists,
+the individual becomes refractory to that task).  The threshold relaxes
+back toward the innate level when the crowd disperses.
+"""
+
+from repro.core.models.base import FACTORS
+from repro.core.models.response_threshold import ResponseThresholdModel
+
+
+class SocialInhibitionModel(ResponseThresholdModel):
+    """Response thresholds with crowd-driven refractory thresholds.
+
+    Parameters
+    ----------
+    neighbor_inhibition:
+        Stimulus inhibition per neighbouring provider per tick.
+    crowd_size:
+        Number of neighbouring providers of a task at which the local
+        threshold for that task is raised.
+    crowd_penalty:
+        Amount added to the threshold while crowded.
+    """
+
+    name = "social_inhibition"
+    model_number = 4
+    factors = frozenset(
+        {FACTORS.STIMULUS, FACTORS.NESTMATES, FACTORS.BEHAVIOURAL_STATE,
+         FACTORS.INNATE_THRESHOLD, FACTORS.GENES}
+    )
+
+    def __init__(self, task_ids, threshold_low=12, threshold_high=36,
+                 leak_per_tick=1, neighbor_inhibition=2, crowd_size=2,
+                 crowd_penalty=12):
+        super().__init__(
+            task_ids,
+            threshold_low=threshold_low,
+            threshold_high=threshold_high,
+            leak_per_tick=leak_per_tick,
+        )
+        self.neighbor_inhibition = neighbor_inhibition
+        self.crowd_size = crowd_size
+        self.crowd_penalty = crowd_penalty
+        self._crowded = set()
+
+    def on_tick(self, aim, now):
+        """Apply crowd inhibition and refractory thresholds."""
+        super().on_tick(aim, now)
+        neighbor_tasks = aim.monitors.read("neighbor_tasks")
+        counts = {}
+        for task in neighbor_tasks.values():
+            if task is not None:
+                counts[task] = counts.get(task, 0) + 1
+        for task_id in self.task_ids:
+            unit = self.pathway.thresholds["task-{}".format(task_id)]
+            crowd = counts.get(task_id, 0)
+            if crowd and self.neighbor_inhibition:
+                unit.inhibit(amount=crowd * self.neighbor_inhibition)
+            innate = self.innate_thresholds[task_id]
+            if crowd >= self.crowd_size:
+                if task_id not in self._crowded:
+                    self._crowded.add(task_id)
+                    unit.set_threshold(innate + self.crowd_penalty)
+            elif task_id in self._crowded:
+                self._crowded.discard(task_id)
+                unit.set_threshold(innate)
+
+    def crowded_tasks(self):
+        """Tasks currently refractory due to neighbouring specialists."""
+        return set(self._crowded)

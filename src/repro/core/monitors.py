@@ -1,0 +1,154 @@
+"""Monitors — the sensing half of the Figure 2a surface.
+
+"The embedded intelligence module has access to many of the internal signals
+of the router and processor, called 'monitors'."  Event-type monitors
+(routing events, internal sinks) reach the models as impulse relays through
+the AIM; the classes here are the *polled* monitors: point-in-time reads of
+node state that tick-driven model logic samples, each with a tiny uniform
+``read()`` interface so pathways can treat them interchangeably.
+"""
+
+from repro.noc.topology import DIRECTIONS
+
+
+class MonitorBank:
+    """All polled monitors of one node, keyed by name."""
+
+    def __init__(self, monitors):
+        self._monitors = dict(monitors)
+
+    def read(self, name):
+        """Read the named monitor's current value."""
+        return self._monitors[name].read()
+
+    def read_all(self):
+        """Snapshot of every monitor (used by traces and examples)."""
+        return {name: mon.read() for name, mon in self._monitors.items()}
+
+    def __contains__(self, name):
+        return name in self._monitors
+
+    def names(self):
+        """Sorted monitor names."""
+        return sorted(self._monitors)
+
+
+class QueueLengthMonitor:
+    """Packets waiting at the node's internal port."""
+
+    def __init__(self, pe):
+        self._pe = pe
+
+    def read(self):
+        """Current queue depth."""
+        return len(self._pe.queue)
+
+
+class CurrentTaskMonitor:
+    """The task the node is currently assigned."""
+
+    def __init__(self, pe):
+        self._pe = pe
+
+    def read(self):
+        """Current task id (or None)."""
+        return self._pe.task_id
+
+
+class FrequencyMonitor:
+    """"The current node frequency" — MHz."""
+
+    def __init__(self, pe):
+        self._pe = pe
+
+    def read(self):
+        """Current frequency in MHz."""
+        return self._pe.frequency.current_mhz
+
+
+class TemperatureMonitor:
+    """"Local temperature sensing" — ring-oscillator stand-in, °C."""
+
+    def __init__(self, pe, sim):
+        self._pe = pe
+        self._sim = sim
+
+    def read(self):
+        """Current temperature in degrees Celsius."""
+        return self._pe.thermal.temperature(self._sim.now)
+
+
+class WatchdogMonitor:
+    """"Watchdog signals from the node" — True when expired."""
+
+    def __init__(self, pe, sim):
+        self._pe = pe
+        self._sim = sim
+
+    def read(self):
+        """True when the watchdog has expired."""
+        return self._pe.watchdog.expired(self._sim.now)
+
+
+class NeighborTaskMonitor:
+    """"Signals from intelligence modules of neighbouring nodes".
+
+    Reads the current task of each mesh neighbour (dead neighbours read as
+    ``None``), keyed by direction.  In hardware this is a dedicated
+    sideband between adjacent AIMs; the provider directory carries the same
+    information here.
+    """
+
+    def __init__(self, network, node_id):
+        self._network = network
+        self._node_id = node_id
+
+    def read(self):
+        """Mapping direction -> neighbouring node's current task."""
+        topology = self._network.topology
+        directory = self._network.directory
+        result = {}
+        for direction in DIRECTIONS:
+            neighbor = topology.neighbor(self._node_id, direction)
+            if neighbor is None:
+                continue
+            result[direction] = directory.task_of(neighbor)
+        return result
+
+
+class RoutedTaskCountMonitor:
+    """Cumulative routed-packet counts per destination task at the router."""
+
+    def __init__(self, router):
+        self._router = router
+
+    def read(self):
+        """Copy of the per-task routed-packet counters."""
+        return dict(self._router.task_route_counts)
+
+
+class RecentTaskQueueMonitor:
+    """The router's recent forwarded-task queue (FFW's 'next packet')."""
+
+    def __init__(self, router):
+        self._router = router
+
+    def read(self):
+        """Copy of the recent forwarded-task queue (oldest first)."""
+        return list(self._router.recent_tasks)
+
+
+def standard_monitor_bank(sim, pe, router, network):
+    """Build the full Figure 2a monitor set for one node."""
+    return MonitorBank(
+        {
+            "queue_length": QueueLengthMonitor(pe),
+            "current_task": CurrentTaskMonitor(pe),
+            "frequency_mhz": FrequencyMonitor(pe),
+            "temperature_c": TemperatureMonitor(pe, sim),
+            "watchdog_expired": WatchdogMonitor(pe, sim),
+            "neighbor_tasks": NeighborTaskMonitor(network, pe.node_id),
+            "routed_task_counts": RoutedTaskCountMonitor(router),
+            "recent_task_queue": RecentTaskQueueMonitor(router),
+        }
+    )

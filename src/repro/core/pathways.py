@@ -1,0 +1,105 @@
+"""Decision pathways: monitors → thresholders → knobs.
+
+"The intelligence models can then be implemented by tying these functions
+together to produce a response-threshold decision pathway from the monitors
+through to the knobs" (paper §III-C).  A :class:`DecisionPathway` is a named
+container of comparators and threshold units with explicit wiring, giving
+models a uniform structure that tests and the taxonomy example can
+introspect: which stimuli feed which thresholds, and which knob each
+threshold drives.
+"""
+
+from repro.core.comparators import VectorMatchComparator
+from repro.core.thresholds import ThresholdUnit
+
+
+class DecisionPathway:
+    """A wired set of sense→decide→act elements for one node.
+
+    The pathway is deliberately explicit rather than clever: models build
+    their circuits once in ``build()`` and the simulation then only fires
+    impulses through them, mirroring how the PicoBlaze program is uploaded
+    once and then reacts to monitor events.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.comparators = {}
+        self.thresholds = {}
+        self._knob_bindings = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_comparator(self, key, pattern, mask=None):
+        """Create and register a comparator demultiplexing a vector input."""
+        if key in self.comparators:
+            raise KeyError("duplicate comparator {!r}".format(key))
+        comparator = VectorMatchComparator(
+            pattern, mask=mask, name="{}:{}".format(self.name, key)
+        )
+        self.comparators[key] = comparator
+        return comparator
+
+    def add_threshold(self, key, threshold, **kwargs):
+        """Create and register a threshold unit."""
+        if key in self.thresholds:
+            raise KeyError("duplicate threshold {!r}".format(key))
+        unit = ThresholdUnit(
+            threshold, name="{}:{}".format(self.name, key), **kwargs
+        )
+        self.thresholds[key] = unit
+        return unit
+
+    def wire(self, comparator_key, threshold_key, inhibitory=False):
+        """Connect a comparator's output into a threshold unit."""
+        comparator = self.comparators[comparator_key]
+        unit = self.thresholds[threshold_key]
+        if inhibitory:
+            comparator.output.connect(unit.inhibit)
+        else:
+            comparator.output.connect(unit.excite)
+        return self
+
+    def bind_knob(self, threshold_key, action):
+        """Drive ``action(payload)`` whenever the threshold unit fires."""
+        unit = self.thresholds[threshold_key]
+        unit.output.connect(action)
+        self._knob_bindings[threshold_key] = action
+        return self
+
+    # -- runtime --------------------------------------------------------------
+
+    def present(self, value, payload=None):
+        """Offer a vector observation to every comparator."""
+        for comparator in self.comparators.values():
+            comparator.present(value, payload)
+
+    def reset_all(self):
+        """Reset every threshold counter (used after a task switch)."""
+        for unit in self.thresholds.values():
+            unit.reset()
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self):
+        """Human-readable wiring summary (used by the taxonomy example)."""
+        lines = ["pathway {!r}".format(self.name)]
+        for key, comparator in sorted(self.comparators.items()):
+            lines.append(
+                "  comparator {:<16} pattern={!r} matches={}".format(
+                    str(key), comparator.pattern, comparator.matches
+                )
+            )
+        for key, unit in sorted(self.thresholds.items()):
+            bound = "-> knob" if key in self._knob_bindings else ""
+            lines.append(
+                "  threshold  {:<16} level={} value={} fires={} {}".format(
+                    str(key), unit.threshold, unit.value, unit.fires, bound
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "DecisionPathway({!r}, {} comparators, {} thresholds)".format(
+            self.name, len(self.comparators), len(self.thresholds)
+        )

@@ -1,0 +1,99 @@
+"""Impulse (spike-train) interfaces.
+
+The Centurion PicoBlaze platform "provides functions for: interfacing to
+convert between impulse sequences (spike trains) and binary number
+representation" (paper §III-C).  Monitors deliver information as impulses;
+decision logic needs counts; knobs sometimes need impulse outputs again.
+These three classes are that conversion layer:
+
+* :class:`ImpulseLine` — a named impulse source with listeners, the "wire"
+  monitors fire on;
+* :class:`SpikeIntegrator` — counts impulses into a binary value (spike
+  train → number);
+* :class:`VectorToSpikes` — emits a burst of ``n`` impulses for a binary
+  value ``n`` (number → spike train).
+"""
+
+
+class ImpulseLine:
+    """A named impulse wire with fan-out.
+
+    Listeners are callables invoked (in subscription order) with the
+    impulse's payload each time :meth:`fire` is called.  The line counts its
+    impulses, which tests and the pathway introspection use.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.fires = 0
+        self._listeners = []
+
+    def connect(self, listener):
+        """Attach ``listener(payload)``; returns self for chaining."""
+        if not callable(listener):
+            raise TypeError("listener must be callable")
+        self._listeners.append(listener)
+        return self
+
+    def disconnect(self, listener):
+        """Detach a previously connected listener."""
+        self._listeners.remove(listener)
+
+    def fire(self, payload=None):
+        """Emit one impulse carrying ``payload`` to all listeners."""
+        self.fires += 1
+        for listener in list(self._listeners):
+            listener(payload)
+
+    def __repr__(self):
+        return "ImpulseLine({!r}, fires={}, listeners={})".format(
+            self.name, self.fires, len(self._listeners)
+        )
+
+
+class SpikeIntegrator:
+    """Spike train → binary value.
+
+    Counts incoming impulses; :meth:`read` returns the count and optionally
+    clears it (destructive read, like reading a hardware capture register).
+    """
+
+    def __init__(self, clear_on_read=True):
+        self.clear_on_read = clear_on_read
+        self.count = 0
+
+    def spike(self, _payload=None):
+        """Accept one impulse (connectable to an :class:`ImpulseLine`)."""
+        self.count += 1
+
+    def read(self):
+        """Return the integrated count; clears it if ``clear_on_read``."""
+        value = self.count
+        if self.clear_on_read:
+            self.count = 0
+        return value
+
+    def __repr__(self):
+        return "SpikeIntegrator(count={})".format(self.count)
+
+
+class VectorToSpikes:
+    """Binary value → spike train.
+
+    :meth:`emit` fires the output line once per unit of the value, capped at
+    ``max_burst`` to bound work per conversion (hardware would serialise a
+    bounded-width register the same way).
+    """
+
+    def __init__(self, output_line, max_burst=256):
+        if max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+        self.output_line = output_line
+        self.max_burst = max_burst
+
+    def emit(self, value, payload=None):
+        """Fire ``min(value, max_burst)`` impulses; returns fires made."""
+        burst = max(0, min(int(value), self.max_burst))
+        for _ in range(burst):
+            self.output_line.fire(payload)
+        return burst

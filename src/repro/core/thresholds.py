@@ -1,0 +1,115 @@
+"""Threshold decision units (Figure 2b).
+
+"When a counter exceeds its respective threshold then the output knob is set
+(either impulse or vector)."  A :class:`ThresholdUnit` couples a
+:class:`~repro.core.counters.SaturatingCounter` to a threshold and an output
+impulse line: excitatory impulses push the counter up, inhibitory impulses
+pull it down, and the moment the counter *exceeds* the threshold the unit
+fires its output and (by default) resets — the final decision maker of every
+intelligence model in this package.
+
+Thresholds may be changed at runtime (the RCAP path in hardware) and an
+optional adaptive rule from the paper's discussion section ("many of the
+models feature mechanisms for adaptive thresholds") is provided through
+:meth:`adapt`.
+"""
+
+from repro.core.counters import SaturatingCounter
+from repro.core.spikes import ImpulseLine
+
+
+class ThresholdUnit:
+    """Counter-vs-threshold decision element.
+
+    Parameters
+    ----------
+    threshold:
+        Firing level; the unit fires when the counter value *exceeds* it.
+    counter:
+        Backing counter; a fresh 0..255 saturating counter by default.
+    reset_on_fire:
+        Reset the counter to its minimum after firing (the Network
+        Interaction model's "task counters are reset" behaviour).
+    refractory:
+        Minimum number of excitations between two fires; additional
+        threshold crossings inside the refractory interval are swallowed,
+        which damps pathological flapping.
+    name:
+        Label for the output line.
+    """
+
+    def __init__(self, threshold, counter=None, reset_on_fire=True,
+                 refractory=0, name=None):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.counter = counter if counter is not None else SaturatingCounter()
+        self.reset_on_fire = reset_on_fire
+        self.refractory = refractory
+        self.output = ImpulseLine(
+            name if name is not None else "threshold({})".format(threshold)
+        )
+        self.fires = 0
+        self._excitations_since_fire = refractory  # armed from the start
+
+    # -- impulse inputs -----------------------------------------------------
+
+    def excite(self, payload=None, amount=1):
+        """Excitatory input; may fire the output."""
+        self.counter.excite(payload, amount=amount)
+        self._excitations_since_fire += 1
+        self._evaluate(payload)
+        return self.counter.value
+
+    def inhibit(self, payload=None, amount=1):
+        """Inhibitory input; can never fire the output."""
+        return self.counter.inhibit(payload, amount=amount)
+
+    # -- decision ------------------------------------------------------------
+
+    def _evaluate(self, payload):
+        if self.counter.value <= self.threshold:
+            return
+        if self._excitations_since_fire < self.refractory:
+            return
+        self.fires += 1
+        self._excitations_since_fire = 0
+        if self.reset_on_fire:
+            self.counter.reset()
+        self.output.fire(payload)
+
+    # -- runtime configuration --------------------------------------------------
+
+    def set_threshold(self, threshold):
+        """RCAP-style threshold update; takes effect on the next impulse."""
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def adapt(self, delta, minimum=1, maximum=10_000):
+        """Adaptive-threshold extension: nudge the threshold by ``delta``.
+
+        Self-reinforcement lowers a task's threshold on success (specialists
+        emerge); disuse raises it.  The clamp keeps the unit functional.
+        """
+        self.threshold = max(minimum, min(maximum, self.threshold + delta))
+        return self.threshold
+
+    def reset(self):
+        """Reset the backing counter without firing."""
+        self.counter.reset()
+
+    @property
+    def value(self):
+        """Current counter value (monitor view)."""
+        return self.counter.value
+
+    @property
+    def headroom(self):
+        """How far the counter is below the firing level (≥ 0)."""
+        return max(0, self.threshold - self.counter.value)
+
+    def __repr__(self):
+        return "ThresholdUnit(value={}, threshold={}, fires={})".format(
+            self.counter.value, self.threshold, self.fires
+        )

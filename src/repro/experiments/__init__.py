@@ -1,0 +1,36 @@
+"""Experiment harness.
+
+Reproduces the paper's evaluation: independent seeded runs, settling- and
+recovery-time detection, quartile statistics, and re-generators for Table I,
+Table II and Figure 4.
+"""
+
+from repro.experiments.runner import RunResult, run_batch, run_single
+from repro.experiments.settling import (
+    recovery_analysis,
+    settling_analysis,
+    steady_state_time,
+)
+from repro.experiments.stats import quartiles, summarize
+from repro.experiments.tables import (
+    format_table,
+    table1,
+    table2,
+)
+from repro.experiments.figures import figure4, render_series
+
+__all__ = [
+    "RunResult",
+    "run_single",
+    "run_batch",
+    "steady_state_time",
+    "settling_analysis",
+    "recovery_analysis",
+    "quartiles",
+    "summarize",
+    "table1",
+    "table2",
+    "format_table",
+    "figure4",
+    "render_series",
+]

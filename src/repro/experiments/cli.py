@@ -1,0 +1,142 @@
+"""Command-line interface to the experiment harness.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro.experiments.cli run --model ffw --seed 7 --faults 42
+    python -m repro.experiments.cli table1 --runs 20
+    python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32
+    python -m repro.experiments.cli figure4 --seed 42
+
+Each subcommand prints its artefact to stdout; ``--json FILE`` additionally
+dumps the raw rows/series for downstream plotting.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.experiments.figures import figure4, render_figure4
+from repro.experiments.runner import default_seeds, run_batch, run_single
+from repro.experiments.tables import format_table, table1, table2
+from repro.platform.config import PlatformConfig
+
+MODELS = ("none", "network_interaction", "foraging_for_work")
+
+
+def build_parser():
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the DATE 2020 social-insect RTM evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one simulation run")
+    run_p.add_argument("--model", default="ffw")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--faults", type=int, default=0)
+    run_p.add_argument("--small", action="store_true",
+                       help="4x4 grid instead of full Centurion")
+    run_p.add_argument("--json", metavar="FILE")
+
+    t1_p = sub.add_parser("table1", help="settling/performance, no faults")
+    t1_p.add_argument("--runs", type=int, default=15)
+    t1_p.add_argument("--json", metavar="FILE")
+
+    t2_p = sub.add_parser("table2", help="recovery/performance vs faults")
+    t2_p.add_argument("--runs", type=int, default=15)
+    t2_p.add_argument("--faults", default="0,2,4,8,16,32",
+                      help="comma-separated fault counts")
+    t2_p.add_argument("--json", metavar="FILE")
+
+    f4_p = sub.add_parser("figure4", help="time-series panels")
+    f4_p.add_argument("--seed", type=int, default=42)
+    f4_p.add_argument("--json", metavar="FILE")
+
+    return parser
+
+
+def _dump_json(path, payload):
+    if path:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+
+def cmd_run(args):
+    """``run`` subcommand: one simulation, row + optional JSON."""
+    config = PlatformConfig.small() if args.small else PlatformConfig()
+    result = run_single(
+        args.model, seed=args.seed, faults=args.faults, config=config
+    )
+    row = result.as_row()
+    for key, value in row.items():
+        print("{:<24} {}".format(key, value))
+    _dump_json(args.json, {"row": row, "series": result.series.as_dict()})
+    return 0
+
+
+def cmd_table1(args):
+    """``table1`` subcommand: regenerate Table I."""
+    config = PlatformConfig()
+    seeds = default_seeds(args.runs)
+    results = {
+        model: run_batch(model, seeds, config=config) for model in MODELS
+    }
+    rows = table1(results)
+    print(format_table(rows, "table1"))
+    _dump_json(args.json, rows)
+    return 0
+
+
+def cmd_table2(args):
+    """``table2`` subcommand: regenerate Table II."""
+    config = PlatformConfig()
+    seeds = default_seeds(args.runs)
+    fault_counts = [int(f) for f in args.faults.split(",")]
+    if 0 not in fault_counts:
+        fault_counts = [0] + fault_counts  # normalisation reference
+    results = {}
+    for model in MODELS:
+        for faults in fault_counts:
+            results[(model, faults)] = run_batch(
+                model, seeds, faults=faults, config=config
+            )
+    rows = table2(results)
+    print(format_table(rows, "table2"))
+    _dump_json(args.json, rows)
+    return 0
+
+
+def cmd_figure4(args):
+    """``figure4`` subcommand: render the six panels."""
+    data = figure4(config=PlatformConfig(), seed=args.seed)
+    print(render_figure4(data))
+    _dump_json(
+        args.json,
+        {
+            str(faults): {
+                model: result.series.as_dict()
+                for model, result in by_model.items()
+            }
+            for faults, by_model in data.items()
+        },
+    )
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "figure4": cmd_figure4,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

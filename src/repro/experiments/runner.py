@@ -1,0 +1,121 @@
+"""Run harness: single runs, seeded batches, and their analyses.
+
+``run_single`` executes one Centurion simulation (model × seed × fault
+count) and extracts everything Tables I/II and Figure 4 need; ``run_batch``
+maps it over seeds, optionally across processes (each run is independent,
+so this parallelises embarrassingly).
+"""
+
+import dataclasses
+import os
+
+from repro.experiments.settling import recovery_analysis, settling_analysis
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+
+#: Metric the tables quantify: completed fork-join instances per window —
+#: the paper's "total many-core throughput of task 3 nodes".  Figure 4's
+#: panels additionally plot ``active_nodes`` (its "Nodes Active" axis).
+DEFAULT_METRIC = "joins"
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Per-run extract used by the tables and figures."""
+
+    model: str
+    seed: int
+    faults: int
+    settling_time_ms: float
+    settled_performance: float
+    recovery_time_ms: float
+    recovered_performance: float
+    series: object
+    app_stats: dict
+    noc_stats: dict
+    total_switches: int
+
+    def as_row(self):
+        """Flat dict of the scalar fields (CSV/JSON row)."""
+        return {
+            "model": self.model,
+            "seed": self.seed,
+            "faults": self.faults,
+            "settling_time_ms": self.settling_time_ms,
+            "settled_performance": self.settled_performance,
+            "recovery_time_ms": self.recovery_time_ms,
+            "recovered_performance": self.recovered_performance,
+            "total_switches": self.total_switches,
+        }
+
+
+def run_single(model_name, seed, faults=0, config=None,
+               metric=DEFAULT_METRIC, keep_series=True):
+    """One full experiment run.
+
+    Settling is measured from t=0 up to the fault time (or to the horizon
+    when no faults are injected); recovery is measured from the fault time
+    to the horizon.  Without faults the recovery fields mirror the settled
+    state so downstream tables can treat the 0-fault row uniformly.
+    """
+    config = config if config is not None else PlatformConfig()
+    platform = CenturionPlatform(config, model_name=model_name, seed=seed)
+    if faults > 0:
+        platform.inject_faults(faults)
+    series = platform.run()
+    fault_time_ms = config.fault_time_us / 1000.0
+    settle_end = fault_time_ms if faults > 0 else None
+    settling_time, settled_perf = settling_analysis(
+        series, metric=metric, end_ms=settle_end
+    )
+    if faults > 0:
+        recovery_time, recovered_perf = recovery_analysis(
+            series, fault_time_ms, metric=metric
+        )
+    else:
+        recovery_time, recovered_perf = 0.0, settled_perf
+    return RunResult(
+        model=platform.model_name,
+        seed=seed,
+        faults=faults,
+        settling_time_ms=settling_time,
+        settled_performance=settled_perf,
+        recovery_time_ms=recovery_time,
+        recovered_performance=recovered_perf,
+        series=series if keep_series else None,
+        app_stats=platform.workload.stats(),
+        noc_stats=dict(platform.network.stats),
+        total_switches=platform.total_task_switches(),
+    )
+
+
+def _run_single_star(args):
+    return run_single(*args)
+
+
+def run_batch(model_name, seeds, faults=0, config=None,
+              metric=DEFAULT_METRIC, processes=None, keep_series=False):
+    """Independent runs over ``seeds``; returns a list of RunResults.
+
+    ``processes``: ``None``/0/1 runs sequentially; larger values use a
+    multiprocessing pool (each run is single-threaded and deterministic per
+    seed, so ordering is preserved by ``map``).  The REPRO_PROCESSES
+    environment variable supplies a default.
+    """
+    if processes is None:
+        processes = int(os.environ.get("REPRO_PROCESSES", "0"))
+    jobs = [
+        (model_name, seed, faults, config, metric, keep_series)
+        for seed in seeds
+    ]
+    if processes and processes > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes) as pool:
+            return pool.map(_run_single_star, jobs)
+    return [_run_single_star(job) for job in jobs]
+
+
+def default_seeds(count, base=1000):
+    """The canonical seed list used by the benchmark harness."""
+    return [base + i for i in range(count)]

@@ -1,0 +1,103 @@
+"""Settling- and recovery-time detection.
+
+The paper reports "settling time" (from the random initial mapping to a
+steady task topology) and "recovery time" (from fault injection to the new
+steady state) but does not give its detector.  We use the standard
+control-systems definition: the settling time is the first instant after
+which the response stays within a tolerance band around its final value.
+
+Concretely, for a window-sampled metric over ``[start, end)``:
+
+1. smooth with a short moving average (the per-window node counts are
+   integer-noisy);
+2. take the *final value* as the mean of the last quarter of the interval;
+3. the settled index is the earliest sample from which every later sample
+   stays within ``max(band_frac × final, band_floor)`` of the final value;
+4. settling time = that sample's time − ``start``, and the settled
+   performance is the mean of the metric from the settled index to ``end``.
+"""
+
+
+def moving_average(values, window=3):
+    """Centered moving average with edge shrinking; window must be odd."""
+    if window < 1 or window % 2 == 0:
+        raise ValueError("window must be a positive odd number")
+    if window == 1 or len(values) <= 2:
+        return list(values)
+    half = window // 2
+    smoothed = []
+    for i in range(len(values)):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        segment = values[lo:hi]
+        smoothed.append(sum(segment) / len(segment))
+    return smoothed
+
+
+def steady_state_time(times_ms, values, start_ms=0.0, end_ms=None,
+                      band_frac=0.10, band_floor=2.0, smooth_window=5):
+    """Detect the steady state of a sampled metric.
+
+    Returns ``(settling_time_ms, settled_mean)``.  If the series never
+    enters the band, the settling time is the full interval length (the
+    run did not settle) and the settled mean falls back to the final value.
+    """
+    if len(times_ms) != len(values):
+        raise ValueError("times and values length mismatch")
+    indices = [
+        i
+        for i, t in enumerate(times_ms)
+        if t >= start_ms and (end_ms is None or t < end_ms)
+    ]
+    if len(indices) < 2:
+        raise ValueError("not enough samples in [{} , {})".format(
+            start_ms, end_ms))
+    segment_times = [times_ms[i] for i in indices]
+    segment_values = moving_average(
+        [values[i] for i in indices], smooth_window
+    )
+    tail_start = max(1, int(len(segment_values) * 0.75))
+    tail = segment_values[tail_start:]
+    final = sum(tail) / len(tail)
+    band = max(abs(final) * band_frac, band_floor)
+    settled_index = None
+    # Walk backwards: find the earliest index from which everything stays
+    # within the band.
+    for i in range(len(segment_values) - 1, -1, -1):
+        if abs(segment_values[i] - final) <= band:
+            settled_index = i
+        else:
+            break
+    if settled_index is None:
+        interval = segment_times[-1] - segment_times[0]
+        return interval, final
+    settling_time = segment_times[settled_index] - start_ms
+    settled_slice = segment_values[settled_index:]
+    settled_mean = sum(settled_slice) / len(settled_slice)
+    return settling_time, settled_mean
+
+
+def settling_analysis(series, metric="active_nodes", end_ms=None, **kwargs):
+    """Settling time/performance of a run from its start (Table I).
+
+    ``series`` is a :class:`repro.app.metrics.MetricsSeries`.
+    """
+    return steady_state_time(
+        series.time_ms,
+        getattr(series, metric),
+        start_ms=0.0,
+        end_ms=end_ms,
+        **kwargs
+    )
+
+
+def recovery_analysis(series, fault_time_ms, metric="active_nodes",
+                      end_ms=None, **kwargs):
+    """Recovery time/performance after fault injection (Table II)."""
+    return steady_state_time(
+        series.time_ms,
+        getattr(series, metric),
+        start_ms=fault_time_ms,
+        end_ms=end_ms,
+        **kwargs
+    )

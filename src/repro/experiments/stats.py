@@ -1,0 +1,64 @@
+"""Quartile statistics.
+
+Tables I and II report "median (Q2) and 25th/75th percentiles (Q1/Q3) for
+100 independent, randomly initialised runs"; these helpers compute exactly
+that, using linear interpolation between order statistics (the common
+"linear"/type-7 definition).
+"""
+
+
+def percentile(values, fraction):
+    """Interpolated percentile of ``values`` at ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def quartiles(values):
+    """``(Q1, Q2, Q3)`` of a sequence."""
+    return (
+        percentile(values, 0.25),
+        percentile(values, 0.50),
+        percentile(values, 0.75),
+    )
+
+
+def median(values):
+    """The 50th percentile."""
+    return percentile(values, 0.5)
+
+
+def mean(values):
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def summarize(values):
+    """Dict summary: n, mean, min, max and quartiles."""
+    q1, q2, q3 = quartiles(values)
+    return {
+        "n": len(values),
+        "mean": mean(values),
+        "min": min(values),
+        "q1": q1,
+        "q2": q2,
+        "q3": q3,
+        "max": max(values),
+    }
+
+
+def iqr(values):
+    """Inter-quartile range."""
+    q1, _q2, q3 = quartiles(values)
+    return q3 - q1

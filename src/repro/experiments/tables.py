@@ -1,0 +1,180 @@
+"""Table I and Table II re-generators.
+
+Both tables report quartiles over independent runs, with performance
+*relative to the highlighted case*: the No-Intelligence model's median
+settled performance at zero faults.  ``table1``/``table2`` take the raw
+:class:`~repro.experiments.runner.RunResult` lists and produce row dicts;
+``format_table`` renders them in the paper's layout.
+"""
+
+from repro.experiments.stats import median, quartiles
+
+#: The paper's model ordering in both tables.
+MODEL_ORDER = ("none", "network_interaction", "foraging_for_work")
+
+MODEL_LABELS = {
+    "none": "No Intelligence",
+    "network_interaction": "Network Interaction",
+    "foraging_for_work": "Foraging For Work",
+}
+
+
+def baseline_reference(results_by_model):
+    """The highlighted case: baseline median settled performance.
+
+    ``results_by_model`` maps model name -> list of zero-fault RunResults.
+    """
+    baseline = results_by_model.get("none")
+    if not baseline:
+        raise ValueError("need zero-fault baseline runs for normalisation")
+    return median([r.settled_performance for r in baseline])
+
+
+def table1(results_by_model, reference=None):
+    """Table I rows: settling time + relative performance quartiles.
+
+    Parameters
+    ----------
+    results_by_model:
+        Mapping model name -> list of zero-fault RunResults.
+    reference:
+        Normalisation level; defaults to the baseline median
+        (the table's highlighted case).
+    """
+    if reference is None:
+        reference = baseline_reference(results_by_model)
+    if reference <= 0:
+        raise ValueError("reference performance must be positive")
+    rows = []
+    for model in MODEL_ORDER:
+        results = results_by_model.get(model)
+        if not results:
+            continue
+        settle_q = quartiles([r.settling_time_ms for r in results])
+        perf_q = quartiles(
+            [100.0 * r.settled_performance / reference for r in results]
+        )
+        rows.append(
+            {
+                "model": model,
+                "label": MODEL_LABELS.get(model, model),
+                "settling_q1": settle_q[0],
+                "settling_q2": settle_q[1],
+                "settling_q3": settle_q[2],
+                "perf_q1": perf_q[0],
+                "perf_q2": perf_q[1],
+                "perf_q3": perf_q[2],
+                "runs": len(results),
+            }
+        )
+    return rows
+
+
+def table2(results_by_model_and_faults, reference=None):
+    """Table II rows: recovery time + relative performance per fault count.
+
+    Parameters
+    ----------
+    results_by_model_and_faults:
+        Mapping ``(model name, fault count)`` -> list of RunResults.
+    reference:
+        Normalisation level; defaults to baseline median at zero faults.
+    """
+    if reference is None:
+        zero_fault = {
+            model: results
+            for (model, faults), results in results_by_model_and_faults.items()
+            if faults == 0
+        }
+        reference = baseline_reference(zero_fault)
+    if reference <= 0:
+        raise ValueError("reference performance must be positive")
+    fault_counts = sorted(
+        {faults for (_m, faults) in results_by_model_and_faults}
+    )
+    rows = []
+    for model in MODEL_ORDER:
+        for faults in fault_counts:
+            results = results_by_model_and_faults.get((model, faults))
+            if not results:
+                continue
+            perf_values = [
+                100.0 * r.recovered_performance / reference for r in results
+            ]
+            perf_q = quartiles(perf_values)
+            row = {
+                "model": model,
+                "label": MODEL_LABELS.get(model, model),
+                "faults": faults,
+                "perf_q1": perf_q[0],
+                "perf_q2": perf_q[1],
+                "perf_q3": perf_q[2],
+                "runs": len(results),
+            }
+            if faults == 0:
+                row.update(
+                    recovery_q1=None, recovery_q2=None, recovery_q3=None
+                )
+            else:
+                rec_q = quartiles([r.recovery_time_ms for r in results])
+                row.update(
+                    recovery_q1=rec_q[0],
+                    recovery_q2=rec_q[1],
+                    recovery_q3=rec_q[2],
+                )
+            rows.append(row)
+    return rows
+
+
+def _fmt(value, width=6, decimals=0, suffix=""):
+    if value is None:
+        return "-".rjust(width)
+    return "{:>{w}.{d}f}{s}".format(value, w=width, d=decimals, s=suffix)
+
+
+def format_table(rows, kind):
+    """ASCII rendering of table rows (``kind`` is ``"table1"``/``"table2"``)."""
+    lines = []
+    if kind == "table1":
+        lines.append(
+            "{:<22} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}".format(
+                "Model", "S.Q1", "S.Q2", "S.Q3", "P.Q1%", "P.Q2%", "P.Q3%"
+            )
+        )
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            lines.append(
+                "{:<22} | {} {} {} | {} {} {}".format(
+                    row["label"],
+                    _fmt(row["settling_q1"]),
+                    _fmt(row["settling_q2"]),
+                    _fmt(row["settling_q3"]),
+                    _fmt(row["perf_q1"]),
+                    _fmt(row["perf_q2"]),
+                    _fmt(row["perf_q3"]),
+                )
+            )
+    elif kind == "table2":
+        lines.append(
+            "{:<22} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}".format(
+                "Model", "Faults", "R.Q1", "R.Q2", "R.Q3",
+                "P.Q1%", "P.Q2%", "P.Q3%",
+            )
+        )
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            lines.append(
+                "{:<22} {:>6} | {} {} {} | {} {} {}".format(
+                    row["label"],
+                    row["faults"],
+                    _fmt(row["recovery_q1"]),
+                    _fmt(row["recovery_q2"]),
+                    _fmt(row["recovery_q3"]),
+                    _fmt(row["perf_q1"]),
+                    _fmt(row["perf_q2"]),
+                    _fmt(row["perf_q3"]),
+                )
+            )
+    else:
+        raise ValueError("unknown table kind {!r}".format(kind))
+    return "\n".join(lines)

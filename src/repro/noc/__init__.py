@@ -1,0 +1,36 @@
+"""Network-on-chip substrate.
+
+A packet-granularity model of the Centurion NoC: an 8×16 mesh of five-port
+wormhole routers (North/East/South/West + internal port to the processing
+element) with a sixth Router Configuration Access Port (RCAP) for remote
+reconfiguration, exactly the arrangement of Figure 2a of the paper.
+
+Packets are *task-addressed*: a packet names the task that must consume it,
+and the provider directory resolves which node currently performs that task
+(minimised Manhattan distance, the paper's heuristic baseline).  Wormhole
+transmission is modelled by per-link channel occupancy: a packet of ``n``
+flits holds a link for ``n`` flit-times, later packets queue behind it.
+"""
+
+from repro.noc.deadlock import DeadlockRecovery
+from repro.noc.link import Link
+from repro.noc.packet import Packet, PacketStatus
+from repro.noc.router import Port, Router, RouterConfig
+from repro.noc.routing import ProviderDirectory, RoutingPolicy, XYRouting
+from repro.noc.topology import MeshTopology
+from repro.noc.network import Network
+
+__all__ = [
+    "DeadlockRecovery",
+    "Link",
+    "MeshTopology",
+    "Network",
+    "Packet",
+    "PacketStatus",
+    "Port",
+    "ProviderDirectory",
+    "Router",
+    "RouterConfig",
+    "RoutingPolicy",
+    "XYRouting",
+]

@@ -1,0 +1,84 @@
+"""Point-to-point links with wormhole channel occupancy.
+
+A link is one direction of a full-duplex channel between two adjacent
+routers (the Centurion router's input and output interfaces are independent,
+so each mesh edge is two ``Link`` objects).  Wormhole switching is modelled
+at packet granularity: a packet of ``n`` flits seizes the link for
+``n * flit_time`` µs and later packets queue behind it, which captures the
+head-of-line blocking that the intelligence models feel as congestion
+without simulating individual flits.
+"""
+
+
+class Link:
+    """One direction of a mesh channel.
+
+    Parameters
+    ----------
+    src, dst:
+        Router/node ids of the endpoints.
+    flit_time:
+        µs to transfer a single flit.
+    wire_latency:
+        Fixed propagation µs added after the last flit leaves.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "flit_time",
+        "wire_latency",
+        "busy_until",
+        "packets_carried",
+        "flits_carried",
+        "total_wait",
+        "enabled",
+    )
+
+    def __init__(self, src, dst, flit_time=1, wire_latency=1):
+        if flit_time < 0 or wire_latency < 0:
+            raise ValueError("link timings must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.flit_time = flit_time
+        self.wire_latency = wire_latency
+        self.busy_until = 0
+        self.packets_carried = 0
+        self.flits_carried = 0
+        self.total_wait = 0
+        self.enabled = True
+
+    def queue_delay(self, now):
+        """How long a packet arriving now would wait for the channel."""
+        return max(0, self.busy_until - now)
+
+    def transfer(self, packet, now):
+        """Claim the channel for ``packet`` starting at ``now``.
+
+        Returns the absolute time at which the packet is available at the
+        downstream router.  Updates occupancy and statistics.
+        """
+        if not self.enabled:
+            raise RuntimeError(
+                "transfer on disabled link {}->{}".format(self.src, self.dst)
+            )
+        start = max(now, self.busy_until)
+        occupancy = packet.size_flits * self.flit_time
+        self.busy_until = start + occupancy
+        self.packets_carried += 1
+        self.flits_carried += packet.size_flits
+        self.total_wait += start - now
+        return start + occupancy + self.wire_latency
+
+    def utilisation(self, now):
+        """Fraction of time spent transferring, measured up to ``now``."""
+        if now <= 0:
+            return 0.0
+        busy = min(self.busy_until, now) if self.flits_carried else 0
+        # Approximation: flits_carried * flit_time is the exact busy time.
+        return min(1.0, self.flits_carried * self.flit_time / now)
+
+    def __repr__(self):
+        return "Link({}->{}, busy_until={}, carried={})".format(
+            self.src, self.dst, self.busy_until, self.packets_carried
+        )

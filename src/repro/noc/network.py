@@ -1,0 +1,366 @@
+"""Network assembly and packet movement.
+
+The :class:`Network` owns the routers, the directed links between adjacent
+routers, the routing policy, the provider directory and the deadlock
+recovery state, and drives packets hop by hop through simulator events.
+
+Task-addressed delivery works like this:
+
+1. ``send(packet, from_node)`` resolves the nearest healthy provider of the
+   packet's destination task (minimised Manhattan distance) and stamps it as
+   ``dest_node``;
+2. each hop picks the next direction from the fault-aware routing policy,
+   waits for the output channel (wormhole occupancy), and re-enters
+   ``_arrive`` at the downstream router;
+3. at the destination router the packet is checked against the directory —
+   if the node switched task or died while the packet was in flight, the
+   packet is re-resolved toward a new provider (counted as a reroute), which
+   is how traffic follows the adapting task topology;
+4. delivery hands the packet to the ``deliver_handler`` installed by the
+   platform (the processing element's internal port).
+"""
+
+from repro.noc.deadlock import DeadlockRecovery
+from repro.noc.link import Link
+from repro.noc.packet import PacketStatus
+from repro.noc.router import Router, RouterConfig
+from repro.noc.routing import (
+    ProviderDirectory,
+    RoutingPolicy,
+    UnroutableError,
+)
+from repro.noc.topology import MeshTopology
+
+
+class Network:
+    """The NoC: routers, links and packet transport.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator.
+    topology:
+        A :class:`MeshTopology`; defaults to the Centurion 16×8 grid.
+    flit_time / wire_latency:
+        Link timing (µs per flit, µs propagation).
+    router_config:
+        Prototype :class:`RouterConfig` copied into every router.
+    deadlock_wait_limit:
+        Channel-wait bound for deadlock recovery (µs), or ``None``.
+    max_reroutes:
+        How many times a packet may be re-resolved to a new provider before
+        being dropped (guards against pathological switch storms).
+    trace:
+        Optional :class:`repro.sim.trace.TraceRecorder`.
+    """
+
+    def __init__(self, sim, topology=None, flit_time=1, wire_latency=1,
+                 router_config=None, deadlock_wait_limit=50_000,
+                 max_reroutes=8, trace=None):
+        self.sim = sim
+        self.topology = topology if topology is not None else MeshTopology()
+        self.policy = RoutingPolicy(self.topology)
+        self.directory = ProviderDirectory(self.topology)
+        self.deadlock = DeadlockRecovery(deadlock_wait_limit)
+        self.max_reroutes = max_reroutes
+        self.trace = trace
+        prototype = router_config if router_config is not None else RouterConfig()
+        self.routers = {
+            node: Router(node, prototype.copy())
+            for node in self.topology.node_ids()
+        }
+        self.links = {}
+        for node in self.topology.node_ids():
+            for direction, neighbor in self.topology.neighbors(node).items():
+                self.links[(node, neighbor)] = Link(
+                    node, neighbor, flit_time=flit_time,
+                    wire_latency=wire_latency,
+                )
+        self.deliver_handler = None
+        self.failed_nodes = set()
+        self.stats = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped_deadlock": 0,
+            "dropped_no_provider": 0,
+            "dropped_fault": 0,
+            "reroutes": 0,
+            "hops": 0,
+        }
+
+    # -- wiring ----------------------------------------------------------------
+
+    def set_deliver_handler(self, handler):
+        """Install ``handler(packet, node_id)`` called on delivery."""
+        self.deliver_handler = handler
+
+    def router(self, node_id):
+        """The router at ``node_id``."""
+        return self.routers[node_id]
+
+    def link(self, src, dst):
+        """The directed link ``src -> dst`` (KeyError if not adjacent)."""
+        return self.links[(src, dst)]
+
+    # -- faults -------------------------------------------------------------------
+
+    def fail_node(self, node_id):
+        """Kill a router (and its node's provider entry); reroutes adapt."""
+        if node_id in self.failed_nodes:
+            return
+        self.failed_nodes.add(node_id)
+        self.routers[node_id].fail()
+        self.directory.mark_failed(node_id)
+        self.policy.set_failed(self.failed_nodes)
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "node_failed", node=node_id)
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send(self, packet, from_node):
+        """Inject ``packet`` at ``from_node``'s router, resolving a provider.
+
+        Returns True if the packet entered the network (or was delivered
+        locally), False if it was dropped immediately for lack of provider
+        or a failed source router.
+        """
+        self.stats["sent"] += 1
+        packet.status = PacketStatus.IN_FLIGHT
+        packet.delivered_at = None
+        if from_node in self.failed_nodes:
+            self._drop(packet, PacketStatus.DROPPED_FAULT)
+            return False
+        dest = self.directory.nearest_provider(from_node, packet.dest_task)
+        if dest is None:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=from_node)
+            return False
+        packet.dest_node = dest
+        self._arrive(packet, from_node)
+        return True
+
+    def send_multicast(self, packets, from_node):
+        """Send sibling packets to *distinct* nearest providers.
+
+        The paper's discussion names multicast routing as the extension
+        that "exploits the inherent parallelism of a task graph": the fork
+        branches of one instance leave together and must not all pile onto
+        the same provider, so the k-th packet resolves to the k-th nearest
+        provider of its task.  Falls back to reusing providers when fewer
+        than ``len(packets)`` exist.  Returns the number of packets that
+        entered the network.
+        """
+        chosen = set()
+        entered = 0
+        for packet in packets:
+            self.stats["sent"] += 1
+            packet.status = PacketStatus.IN_FLIGHT
+            packet.delivered_at = None
+            if from_node in self.failed_nodes:
+                self._drop(packet, PacketStatus.DROPPED_FAULT)
+                continue
+            dest = self.directory.nearest_provider(
+                from_node, packet.dest_task, exclude=chosen
+            )
+            if dest is None:
+                # Fewer healthy providers than branches: reuse the nearest.
+                dest = self.directory.nearest_provider(
+                    from_node, packet.dest_task
+                )
+            if dest is None:
+                self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                           at_node=from_node)
+                continue
+            chosen.add(dest)
+            packet.dest_node = dest
+            self._arrive(packet, from_node)
+            entered += 1
+        return entered
+
+    def redirect(self, packet, from_node, exclude=()):
+        """Divert an in-network packet toward another provider.
+
+        Used by full processing-element buffers (backpressure): the packet
+        is re-resolved from ``from_node`` excluding the given providers and
+        re-enters the hop engine there.  Returns True unless the packet had
+        to be dropped (no alternative provider or reroute budget exhausted).
+        """
+        packet.status = PacketStatus.IN_FLIGHT
+        packet.delivered_at = None
+        if packet.reroutes > self.max_reroutes:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=from_node)
+            return False
+        dest = self.directory.nearest_provider(
+            from_node, packet.dest_task, exclude=exclude
+        )
+        if dest is None:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=from_node)
+            return False
+        self.stats["reroutes"] += 1
+        packet.dest_node = dest
+        self._arrive(packet, from_node)
+        return True
+
+    # -- hop engine ---------------------------------------------------------------------
+
+    def _arrive(self, packet, node):
+        """Packet is at ``node``'s router at the current simulation time."""
+        if not packet.in_flight:
+            return
+        if node in self.failed_nodes:
+            self._drop(packet, PacketStatus.DROPPED_FAULT)
+            return
+        router = self.routers[node]
+        if node == packet.dest_node:
+            if self.directory.task_of(node) == packet.dest_task:
+                self._deliver(packet, node, router)
+                return
+            # Destination changed task while the packet was in flight:
+            # re-resolve toward the task's new nearest provider.
+            if not self._reresolve(packet, node):
+                return
+            if packet.dest_node == node:
+                self._deliver(packet, node, router)
+                return
+        try:
+            direction = self.policy.next_direction(node, packet.dest_node)
+        except UnroutableError:
+            if not self._reresolve(packet, node, exclude=(packet.dest_node,)):
+                return
+            if packet.dest_node == node:
+                self._deliver(packet, node, router)
+                return
+            try:
+                direction = self.policy.next_direction(node, packet.dest_node)
+            except UnroutableError:
+                self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                           at_node=node)
+                return
+        direction = self._adaptive_port(router, node, packet, direction)
+        neighbor = self.topology.neighbor(node, direction)
+        if neighbor is None:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=node)
+            return
+        link = self.links[(node, neighbor)]
+        now = self.sim.now
+        wait = link.queue_delay(now)
+        if self.deadlock.should_drop(wait):
+            self.deadlock.record_drop(now)
+            self._drop(packet, PacketStatus.DROPPED_DEADLOCK, at_node=node)
+            return
+        router.notify_routed(packet, to_internal=False)
+        router.record_port(direction, incoming=False)
+        departure = now + router.config.router_latency
+        arrival_time = link.transfer(packet, departure)
+        packet.hops += 1
+        self.stats["hops"] += 1
+        from repro.noc.topology import opposite
+
+        in_port = opposite(direction)
+        self.sim.schedule_at(
+            arrival_time,
+            lambda p=packet, n=neighbor, d=in_port: self._hop_in(p, n, d),
+        )
+
+    def _hop_in(self, packet, node, in_port):
+        if not packet.in_flight:
+            return
+        if node in self.failed_nodes:
+            self._drop(packet, PacketStatus.DROPPED_FAULT)
+            return
+        self.routers[node].record_port(in_port, incoming=True)
+        self._arrive(packet, node)
+
+    def _adaptive_port(self, router, node, packet, policy_direction):
+        """Congestion-aware minimal output-port choice (paper §V).
+
+        When the router is in ``adaptive`` mode and more than one healthy
+        *minimal* direction exists, pick the output whose channel is least
+        busy right now; ties keep the dimension-ordered choice.  The
+        override only applies when the policy's own direction is among the
+        minimal candidates — when the policy is detouring around faults,
+        its direction stands, which keeps detours loop-free.  Minimal
+        adaptive routing can in principle deadlock; like the real
+        Centurion, the deadlock-recovery timeout is the backstop.
+        """
+        if router.config.routing_mode != "adaptive":
+            return policy_direction
+        candidates = self.policy.minimal_directions(node, packet.dest_node)
+        if len(candidates) < 2 or policy_direction not in candidates:
+            return policy_direction
+        now = self.sim.now
+        best = policy_direction
+        best_wait = None
+        for direction in candidates:
+            neighbor = self.topology.neighbor(node, direction)
+            wait = self.links[(node, neighbor)].queue_delay(now)
+            if best_wait is None or wait < best_wait:
+                best = direction
+                best_wait = wait
+        return best
+
+    # -- terminal outcomes --------------------------------------------------------
+
+    def _deliver(self, packet, node, router):
+        router.notify_routed(packet, to_internal=True)
+        packet.status = PacketStatus.DELIVERED
+        packet.delivered_at = self.sim.now
+        self.stats["delivered"] += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                "packet_delivered",
+                packet=packet.packet_id,
+                node=node,
+                task=packet.dest_task,
+                hops=packet.hops,
+            )
+        if self.deliver_handler is not None:
+            self.deliver_handler(packet, node)
+
+    def _reresolve(self, packet, node, exclude=()):
+        """Pick a new provider for an in-flight packet; False if dropped."""
+        packet.reroutes += 1
+        self.stats["reroutes"] += 1
+        if packet.reroutes > self.max_reroutes:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=node)
+            return False
+        dest = self.directory.nearest_provider(
+            node, packet.dest_task, exclude=exclude
+        )
+        if dest is None:
+            self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
+                       at_node=node)
+            return False
+        packet.dest_node = dest
+        return True
+
+    def _drop(self, packet, status, at_node=None):
+        packet.status = status
+        key = {
+            PacketStatus.DROPPED_DEADLOCK: "dropped_deadlock",
+            PacketStatus.DROPPED_NO_PROVIDER: "dropped_no_provider",
+            PacketStatus.DROPPED_FAULT: "dropped_fault",
+        }[status]
+        self.stats[key] += 1
+        if at_node is not None:
+            router = self.routers.get(at_node)
+            if router is not None:
+                router.notify_dropped(packet)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                "packet_dropped",
+                packet=packet.packet_id,
+                reason=status,
+                task=packet.dest_task,
+            )
+
+    def __repr__(self):
+        return "Network({} nodes, {} failed, stats={})".format(
+            self.topology.num_nodes, len(self.failed_nodes), self.stats
+        )

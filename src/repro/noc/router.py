@@ -1,0 +1,225 @@
+"""The Centurion five-port router (Figure 2a).
+
+Ports: North, East, South, West, and an internal (Local) port to the node's
+processing element; a sixth Router Configuration Access Port (RCAP) accepts
+remote configuration writes without carrying application traffic.  The
+router exposes *monitors* (routing events, per-task counts, queue state)
+that the embedded Artificial Intelligence Module subscribes to, and honours
+*knobs* via its configuration — this is the sense/actuate surface the
+social-insect models are wired to.
+"""
+
+from repro.noc.topology import DIRECTIONS, INTERNAL
+
+
+class Port:
+    """One router port: an attachment point with per-port statistics."""
+
+    __slots__ = ("name", "enabled", "packets_in", "packets_out")
+
+    def __init__(self, name):
+        self.name = name
+        self.enabled = True
+        self.packets_in = 0
+        self.packets_out = 0
+
+    def __repr__(self):
+        return "Port({}, in={}, out={}, {})".format(
+            self.name,
+            self.packets_in,
+            self.packets_out,
+            "enabled" if self.enabled else "disabled",
+        )
+
+
+class RouterConfig:
+    """Mutable router settings reachable through the RCAP.
+
+    Attributes
+    ----------
+    routing_mode:
+        ``"xy"`` or ``"adaptive"`` — the paper's two packet routing modes.
+        ``xy`` is dimension-ordered (the evaluated system's "minimised
+        Manhattan distance" heuristic); ``adaptive`` additionally lets the
+        router pick the less-congested of the minimal output ports (the
+        paper's §V extension).  Fault detours are independent of the mode.
+    router_latency:
+        Fixed µs added per hop for header decode and arbitration.
+    recent_queue_depth:
+        How many recently-forwarded packet tasks the router remembers; the
+        Foraging-for-Work model reads this queue to pick its next task.
+    """
+
+    def __init__(self, routing_mode="xy", router_latency=2,
+                 recent_queue_depth=8):
+        if routing_mode not in ("xy", "adaptive"):
+            raise ValueError("unknown routing mode {!r}".format(routing_mode))
+        if router_latency < 0:
+            raise ValueError("router_latency must be non-negative")
+        if recent_queue_depth < 1:
+            raise ValueError("recent_queue_depth must be >= 1")
+        self.routing_mode = routing_mode
+        self.router_latency = router_latency
+        self.recent_queue_depth = recent_queue_depth
+
+    def copy(self):
+        """Independent copy (each router owns its settings)."""
+        return RouterConfig(
+            routing_mode=self.routing_mode,
+            router_latency=self.router_latency,
+            recent_queue_depth=self.recent_queue_depth,
+        )
+
+
+class Router:
+    """A single mesh router.
+
+    The router does not move packets itself — the :class:`~repro.noc.network.
+    Network` drives hop scheduling — but it owns everything local: port
+    state, the RCAP configuration interface, per-task routing-event counters
+    (the NI model's monitor), the recent-task queue (the FFW model's
+    monitor) and the observer list through which the AIM hears routing
+    events.
+    """
+
+    def __init__(self, node_id, config=None):
+        self.node_id = node_id
+        self.config = config if config is not None else RouterConfig()
+        self.ports = {name: Port(name) for name in DIRECTIONS}
+        self.ports[INTERNAL] = Port(INTERNAL)
+        self.failed = False
+        #: packets routed through (any port), per destination task
+        self.task_route_counts = {}
+        #: most recent dest tasks forwarded (oldest first)
+        self.recent_tasks = []
+        self._observers = []
+        self._routed_handlers = []
+        self._dropped_handlers = []
+        self.packets_forwarded = 0
+        self.packets_sunk = 0
+        self.packets_dropped_here = 0
+
+    # -- observer wiring (monitors) ------------------------------------------
+
+    def add_observer(self, observer):
+        """Subscribe an observer (typically the node's AIM).
+
+        Observers may implement ``on_packet_routed(router, packet,
+        to_internal)``; missing methods are tolerated so tests can pass
+        minimal stubs.  Handlers are cached at subscription time — routing
+        events are the hottest path in the simulation.
+        """
+        self._observers.append(observer)
+        self._rebuild_handler_cache()
+
+    def remove_observer(self, observer):
+        """Unsubscribe an observer."""
+        self._observers.remove(observer)
+        self._rebuild_handler_cache()
+
+    def _rebuild_handler_cache(self):
+        self._routed_handlers = [
+            handler
+            for handler in (
+                getattr(obs, "on_packet_routed", None)
+                for obs in self._observers
+            )
+            if handler is not None
+        ]
+        self._dropped_handlers = [
+            handler
+            for handler in (
+                getattr(obs, "on_packet_dropped", None)
+                for obs in self._observers
+            )
+            if handler is not None
+        ]
+
+    # -- events driven by the network -----------------------------------------
+
+    def notify_routed(self, packet, to_internal):
+        """Record a routing event and fan it out to observers.
+
+        ``to_internal`` is True when the packet was routed to the internal
+        port (accepted by the local node) — the impulse that suppresses the
+        FFW task-switch timeout.
+        """
+        if self.failed:
+            return
+        task = packet.dest_task
+        self.task_route_counts[task] = self.task_route_counts.get(task, 0) + 1
+        if to_internal:
+            self.packets_sunk += 1
+            self.ports[INTERNAL].packets_out += 1
+        else:
+            self.packets_forwarded += 1
+            self.recent_tasks.append(task)
+            overflow = len(self.recent_tasks) - self.config.recent_queue_depth
+            if overflow > 0:
+                del self.recent_tasks[:overflow]
+        for handler in self._routed_handlers:
+            handler(self, packet, to_internal)
+
+    def notify_dropped(self, packet):
+        """Report a packet dropped at this router to observers.
+
+        A drop — deadlock recovery, no surviving provider, reroute budget
+        exhausted — is the strongest local evidence that the colony is
+        failing to do some task's work, so the AIM hears about it (the
+        Foraging-for-Work model arms its task-switch timeout on it).
+        """
+        if self.failed:
+            return
+        self.packets_dropped_here += 1
+        for handler in self._dropped_handlers:
+            handler(self, packet)
+
+    def record_port(self, port_name, incoming):
+        """Update per-port counters for a packet crossing ``port_name``."""
+        port = self.ports[port_name]
+        if incoming:
+            port.packets_in += 1
+        else:
+            port.packets_out += 1
+
+    # -- failure ------------------------------------------------------------------
+
+    def fail(self):
+        """Hard-fail the router: all ports die and observers are silenced."""
+        self.failed = True
+        for port in self.ports.values():
+            port.enabled = False
+
+    # -- RCAP ---------------------------------------------------------------------
+
+    def rcap_write(self, settings):
+        """Apply remote configuration (the paper's sixth port).
+
+        ``settings`` is a mapping of :class:`RouterConfig` attribute names to
+        new values; unknown keys raise ``KeyError`` to surface typos in
+        experiment scripts.
+        """
+        if self.failed:
+            raise RuntimeError(
+                "RCAP write to failed router {}".format(self.node_id)
+            )
+        for key, value in settings.items():
+            if not hasattr(self.config, key):
+                raise KeyError("unknown router setting {!r}".format(key))
+            setattr(self.config, key, value)
+
+    def rcap_read(self):
+        """Snapshot of current settings, as a plain dict."""
+        return {
+            "routing_mode": self.config.routing_mode,
+            "router_latency": self.config.router_latency,
+            "recent_queue_depth": self.config.recent_queue_depth,
+        }
+
+    def __repr__(self):
+        return "Router(node={}, forwarded={}, sunk={}{})".format(
+            self.node_id,
+            self.packets_forwarded,
+            self.packets_sunk,
+            ", FAILED" if self.failed else "",
+        )

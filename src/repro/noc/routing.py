@@ -1,0 +1,318 @@
+"""Routing policies and the task-provider directory.
+
+Two layers:
+
+* :class:`ProviderDirectory` answers "which nodes currently perform task T?"
+  and resolves the *nearest* provider by minimised Manhattan distance — the
+  paper's heuristic fixed-routing baseline.  In hardware this information is
+  distributed through the RCAP; here it is a shared directory updated on
+  every task switch and node failure, which is behaviourally equivalent and
+  keeps the simulation fast.
+
+* :class:`XYRouting` / :class:`RoutingPolicy` answer "given a packet at
+  router R heading for node D, which output port next?".  XY (dimension
+  ordered) routing is used on the healthy mesh; when faults make the XY path
+  unusable the policy falls back to a breadth-first-search next-hop table
+  over the surviving routers, recomputed lazily whenever the set of failed
+  routers changes (modelling the paper's "starts to route around the failed
+  nodes").
+"""
+
+from collections import deque
+
+from repro.noc.topology import DIRECTIONS, EAST, NORTH, SOUTH, WEST
+
+
+class ProviderDirectory:
+    """Tracks which nodes currently perform each task.
+
+    The directory is the simulation-level stand-in for the emergent
+    task-location knowledge that packets exploit; lookups are deterministic
+    (ties broken by node id) so runs are reproducible.
+    """
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._providers = {}
+        self._node_task = {}
+        self._failed = set()
+        self.version = 0
+        # Distance ranking cache: provider lookup is the hottest query in
+        # the simulation, so coordinates are precomputed and sorted
+        # candidate lists are cached per (origin, task) until the directory
+        # changes (version bump).
+        self._coords = [topology.coords(n) for n in topology.node_ids()]
+        self._rank_cache = {}
+        self._rank_cache_version = 0
+
+    # -- updates -------------------------------------------------------------
+
+    def set_task(self, node_id, task_id):
+        """Record that ``node_id`` now performs ``task_id`` (or None)."""
+        old = self._node_task.get(node_id)
+        if old == task_id:
+            return
+        if old is not None:
+            members = self._providers.get(old)
+            if members is not None:
+                members.discard(node_id)
+                if not members:
+                    del self._providers[old]
+        self._node_task[node_id] = task_id
+        if task_id is not None:
+            self._providers.setdefault(task_id, set()).add(node_id)
+        self.version += 1
+
+    def mark_failed(self, node_id):
+        """Remove a failed node from all provider sets."""
+        if node_id in self._failed:
+            return
+        self._failed.add(node_id)
+        self.set_task(node_id, None)
+        self.version += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def task_of(self, node_id):
+        """Current task of a node, or ``None``."""
+        return self._node_task.get(node_id)
+
+    def providers(self, task_id):
+        """Sorted list of healthy nodes performing ``task_id``."""
+        return sorted(self._providers.get(task_id, ()))
+
+    def provider_count(self, task_id):
+        """Number of healthy providers of ``task_id``."""
+        return len(self._providers.get(task_id, ()))
+
+    def task_census(self):
+        """Mapping task id -> number of healthy providers."""
+        return {task: len(nodes) for task, nodes in self._providers.items()
+                if nodes}
+
+    def is_failed(self, node_id):
+        """True when the node has been marked failed."""
+        return node_id in self._failed
+
+    def nearest_provider(self, from_node, task_id, exclude=()):
+        """Nearest healthy provider of ``task_id`` by Manhattan distance.
+
+        Ties break toward the lowest node id (deterministic).  ``exclude``
+        removes candidates (e.g. the asking node itself when it wants help
+        from elsewhere, or providers that already bounced a packet).
+        Returns ``None`` when no provider exists — the caller decides
+        whether to drop or hold the packet.
+        """
+        ranked = self.ranked_providers(from_node, task_id)
+        if not exclude:
+            return ranked[0] if ranked else None
+        excluded = (
+            exclude if isinstance(exclude, (set, frozenset)) else set(exclude)
+        )
+        for node in ranked:
+            if node not in excluded:
+                return node
+        return None
+
+    def ranked_providers(self, from_node, task_id):
+        """Healthy providers of ``task_id`` sorted by (distance, id)."""
+        if self._rank_cache_version != self.version:
+            self._rank_cache.clear()
+            self._rank_cache_version = self.version
+        key = (from_node, task_id)
+        ranked = self._rank_cache.get(key)
+        if ranked is None:
+            fx, fy = self._coords[from_node]
+            coords = self._coords
+            ranked = sorted(
+                self._providers.get(task_id, ()),
+                key=lambda n: (
+                    abs(coords[n][0] - fx) + abs(coords[n][1] - fy),
+                    n,
+                ),
+            )
+            self._rank_cache[key] = ranked
+        return ranked
+
+
+class XYRouting:
+    """Dimension-ordered (X then Y) minimal routing on a healthy mesh."""
+
+    def __init__(self, topology):
+        self.topology = topology
+
+    def next_direction(self, current, dest):
+        """Mesh direction of the next hop, or ``None`` when arrived."""
+        if current == dest:
+            return None
+        cx, cy = self.topology.coords(current)
+        dx, dy = self.topology.coords(dest)
+        if cx < dx:
+            return EAST
+        if cx > dx:
+            return WEST
+        if cy < dy:
+            return SOUTH
+        return NORTH
+
+
+class RoutingPolicy:
+    """Fault-aware next-hop selection.
+
+    Healthy mesh: XY routing (the Centurion default).  With failed routers,
+    a BFS next-hop table over surviving routers is computed per destination
+    on demand and cached; the cache is invalidated whenever the failure set
+    changes.
+    """
+
+    def __init__(self, topology):
+        self.topology = topology
+        self.xy = XYRouting(topology)
+        self._failed = frozenset()
+        self._table_cache = {}
+
+    # -- fault management ------------------------------------------------------
+
+    def set_failed(self, failed_nodes):
+        """Replace the set of failed routers; invalidates cached tables."""
+        failed = frozenset(failed_nodes)
+        if failed != self._failed:
+            self._failed = failed
+            self._table_cache.clear()
+
+    @property
+    def failed(self):
+        return self._failed
+
+    # -- next-hop query -----------------------------------------------------------
+
+    def next_direction(self, current, dest):
+        """Direction of the next hop from ``current`` toward ``dest``.
+
+        Returns ``None`` if ``current == dest`` and raises
+        :class:`UnroutableError` when ``dest`` is unreachable (failed or
+        disconnected).
+        """
+        if current == dest:
+            return None
+        if dest in self._failed:
+            raise UnroutableError(current, dest, "destination failed")
+        if not self._failed:
+            return self.xy.next_direction(current, dest)
+        # Try XY first: it is still correct if every hop on the XY path is
+        # alive; checking just the immediate hop keeps this O(1), falling
+        # back to the BFS table when the neighbour is dead.
+        direction = self.xy.next_direction(current, dest)
+        neighbor = self.topology.neighbor(current, direction)
+        if neighbor is not None and neighbor not in self._failed:
+            # The XY path may still hit a dead router later; to guarantee
+            # delivery we only trust XY when no failures block the full
+            # XY path, otherwise use the table.
+            if self._xy_path_clear(current, dest):
+                return direction
+        return self._table_direction(current, dest)
+
+    def minimal_directions(self, current, dest):
+        """All mesh directions that shrink the distance to ``dest``.
+
+        Used by adaptive output-port selection (paper §V: letting the
+        embedded intelligence "make decisions on the destination output
+        port of incoming packets").  On a healthy mesh this is the X
+        and/or Y productive move; directions into failed routers are
+        filtered out.  Order is deterministic: X move first, then Y.
+        """
+        if current == dest:
+            return []
+        cx, cy = self.topology.coords(current)
+        dx, dy = self.topology.coords(dest)
+        candidates = []
+        if cx < dx:
+            candidates.append(EAST)
+        elif cx > dx:
+            candidates.append(WEST)
+        if cy < dy:
+            candidates.append(SOUTH)
+        elif cy > dy:
+            candidates.append(NORTH)
+        healthy = []
+        for direction in candidates:
+            neighbor = self.topology.neighbor(current, direction)
+            if neighbor is not None and neighbor not in self._failed:
+                healthy.append(direction)
+        return healthy
+
+    def path(self, src, dest):
+        """Full hop-by-hop node path ``src .. dest`` (for tests/analysis)."""
+        path = [src]
+        current = src
+        limit = self.topology.num_nodes + 1
+        while current != dest:
+            direction = self.next_direction(current, dest)
+            current = self.topology.neighbor(current, direction)
+            if current is None:
+                raise UnroutableError(src, dest, "walked off the mesh")
+            path.append(current)
+            if len(path) > limit:
+                raise UnroutableError(src, dest, "routing loop")
+        return path
+
+    # -- internals -----------------------------------------------------------------
+
+    def _xy_path_clear(self, current, dest):
+        node = current
+        while node != dest:
+            direction = self.xy.next_direction(node, dest)
+            node = self.topology.neighbor(node, direction)
+            if node is None or node in self._failed:
+                return False
+        return True
+
+    def _table_direction(self, current, dest):
+        table = self._table_cache.get(dest)
+        if table is None:
+            table = self._build_table(dest)
+            self._table_cache[dest] = table
+        direction = table.get(current)
+        if direction is None:
+            raise UnroutableError(current, dest, "no surviving path")
+        return direction
+
+    def _build_table(self, dest):
+        """BFS from ``dest`` outward over healthy routers.
+
+        Produces, for every reachable router, the direction of its first hop
+        toward ``dest``.  Neighbour expansion order is the fixed DIRECTIONS
+        tuple, so equal-length routes are chosen deterministically.
+        """
+        table = {}
+        visited = {dest}
+        frontier = deque([dest])
+        while frontier:
+            node = frontier.popleft()
+            for direction in DIRECTIONS:
+                neighbor = self.topology.neighbor(node, direction)
+                if (
+                    neighbor is None
+                    or neighbor in visited
+                    or neighbor in self._failed
+                ):
+                    continue
+                # The neighbour reaches dest by stepping back toward node.
+                from repro.noc.topology import opposite
+
+                table[neighbor] = opposite(direction)
+                visited.add(neighbor)
+                frontier.append(neighbor)
+        return table
+
+
+class UnroutableError(RuntimeError):
+    """No surviving route between two nodes."""
+
+    def __init__(self, src, dest, reason):
+        super().__init__(
+            "cannot route {} -> {}: {}".format(src, dest, reason)
+        )
+        self.src = src
+        self.dest = dest
+        self.reason = reason

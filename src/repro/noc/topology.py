@@ -1,0 +1,138 @@
+"""Mesh grid topology.
+
+Centurion-V6 is an 8×16 grid of 128 nodes.  We use ``width`` columns (x) and
+``height`` rows (y), with node id ``y * width + x``.  Row ``y = 0`` is the
+*top* row — the one whose North ports connect to the Experiment Controller —
+and the North direction decreases ``y``.
+"""
+
+NORTH = "N"
+EAST = "E"
+SOUTH = "S"
+WEST = "W"
+INTERNAL = "L"
+
+#: The four mesh directions in the fixed arbitration order used by routers.
+DIRECTIONS = (NORTH, EAST, SOUTH, WEST)
+
+_OFFSETS = {
+    NORTH: (0, -1),
+    EAST: (1, 0),
+    SOUTH: (0, 1),
+    WEST: (-1, 0),
+}
+
+_OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+def opposite(direction):
+    """The reverse mesh direction (``N``↔``S``, ``E``↔``W``)."""
+    return _OPPOSITE[direction]
+
+
+class MeshTopology:
+    """A ``width × height`` 2D mesh.
+
+    Provides coordinate/id conversion, neighbourhood queries and Manhattan
+    distances.  All methods validate their inputs so that routing bugs fail
+    loudly instead of wrapping around the grid.
+    """
+
+    def __init__(self, width=16, height=8):
+        if width < 1 or height < 1:
+            raise ValueError(
+                "mesh must be at least 1x1, got {}x{}".format(width, height)
+            )
+        self.width = width
+        self.height = height
+
+    # -- id / coordinate conversion ----------------------------------------
+
+    @property
+    def num_nodes(self):
+        return self.width * self.height
+
+    def node_ids(self):
+        """All node ids in row-major order."""
+        return range(self.num_nodes)
+
+    def coords(self, node_id):
+        """``(x, y)`` of a node id."""
+        self._check_id(node_id)
+        return node_id % self.width, node_id // self.width
+
+    def node_id(self, x, y):
+        """Node id at coordinates ``(x, y)``."""
+        self._check_xy(x, y)
+        return y * self.width + x
+
+    def in_bounds(self, x, y):
+        """True when ``(x, y)`` lies inside the mesh."""
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    # -- neighbourhood -------------------------------------------------------
+
+    def neighbor(self, node_id, direction):
+        """Neighbour id in ``direction`` or ``None`` at the mesh edge."""
+        x, y = self.coords(node_id)
+        dx, dy = _OFFSETS[direction]
+        nx, ny = x + dx, y + dy
+        if not self.in_bounds(nx, ny):
+            return None
+        return self.node_id(nx, ny)
+
+    def neighbors(self, node_id):
+        """Mapping of direction -> neighbour id (edges omitted)."""
+        result = {}
+        for direction in DIRECTIONS:
+            other = self.neighbor(node_id, direction)
+            if other is not None:
+                result[direction] = other
+        return result
+
+    def direction_to(self, src, dst):
+        """Mesh direction from ``src`` to an *adjacent* ``dst``.
+
+        Raises ``ValueError`` if the nodes are not neighbours.
+        """
+        for direction in DIRECTIONS:
+            if self.neighbor(src, direction) == dst:
+                return direction
+        raise ValueError(
+            "nodes {} and {} are not adjacent".format(src, dst)
+        )
+
+    # -- metrics --------------------------------------------------------------
+
+    def manhattan(self, a, b):
+        """Manhattan (hop-count) distance between two node ids."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def top_row(self):
+        """Node ids of the top row (y = 0), West to East."""
+        return [self.node_id(x, 0) for x in range(self.width)]
+
+    # -- validation -------------------------------------------------------------
+
+    def _check_id(self, node_id):
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(
+                "node id {} outside mesh of {} nodes".format(
+                    node_id, self.num_nodes
+                )
+            )
+
+    def _check_xy(self, x, y):
+        if not self.in_bounds(x, y):
+            raise ValueError(
+                "({}, {}) outside {}x{} mesh".format(
+                    x, y, self.width, self.height
+                )
+            )
+
+    def __repr__(self):
+        return "MeshTopology({}x{}, {} nodes)".format(
+            self.width, self.height, self.num_nodes
+        )

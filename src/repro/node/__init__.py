@@ -1,0 +1,24 @@
+"""Processing-element substrate.
+
+Each Centurion node pairs a router with a Xilinx MicroBlaze MCS processor.
+This package models that processor at the task level: a node runs exactly
+one application task at a time, consumes packets addressed to that task from
+an input queue, takes a task-dependent service time per packet (scaled by
+the node's DVFS frequency) and emits the task's downstream packets.
+
+Also here are the node-local monitors and knobs of Figure 2a that are not
+part of the router: the watchdog, the 10–300 MHz frequency scaling knob and
+the (synthetic ring-oscillator) temperature sensor.
+"""
+
+from repro.node.dvfs import FrequencyScaler
+from repro.node.processor import ProcessingElement
+from repro.node.thermal import ThermalModel
+from repro.node.watchdog import Watchdog
+
+__all__ = [
+    "FrequencyScaler",
+    "ProcessingElement",
+    "ThermalModel",
+    "Watchdog",
+]

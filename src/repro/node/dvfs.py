@@ -1,0 +1,63 @@
+"""Node-level dynamic frequency scaling.
+
+The Centurion AIM exposes "node-level frequency scaling (10 MHz – 300 MHz)"
+as a knob and "the current node frequency" as a monitor.  Service times in
+the processing element scale inversely with frequency relative to the
+nominal operating point, so an intelligence model that throttles a hot node
+directly slows its task throughput — closing the loop the paper describes.
+"""
+
+MIN_FREQUENCY_MHZ = 10
+MAX_FREQUENCY_MHZ = 300
+NOMINAL_FREQUENCY_MHZ = 100
+
+
+class FrequencyScaler:
+    """Clamped frequency knob with a change log.
+
+    Parameters
+    ----------
+    nominal_mhz:
+        Frequency at which task service times are quoted.
+    """
+
+    def __init__(self, nominal_mhz=NOMINAL_FREQUENCY_MHZ):
+        if not MIN_FREQUENCY_MHZ <= nominal_mhz <= MAX_FREQUENCY_MHZ:
+            raise ValueError(
+                "nominal frequency {} MHz outside [{}, {}]".format(
+                    nominal_mhz, MIN_FREQUENCY_MHZ, MAX_FREQUENCY_MHZ
+                )
+            )
+        self.nominal_mhz = nominal_mhz
+        self.current_mhz = nominal_mhz
+        self.changes = 0
+
+    def set_frequency(self, mhz):
+        """Set the node frequency, clamped to the 10–300 MHz range.
+
+        Returns the actually-applied frequency.
+        """
+        clamped = max(MIN_FREQUENCY_MHZ, min(MAX_FREQUENCY_MHZ, mhz))
+        if clamped != self.current_mhz:
+            self.current_mhz = clamped
+            self.changes += 1
+        return self.current_mhz
+
+    def scale_duration(self, nominal_duration):
+        """Scale a nominal-frequency duration to the current frequency.
+
+        Halving the frequency doubles the duration.  Durations are kept as
+        integers (µs) and never rounded below 1.
+        """
+        scaled = nominal_duration * self.nominal_mhz / self.current_mhz
+        return max(1, int(round(scaled)))
+
+    @property
+    def slowdown(self):
+        """Current slowdown factor relative to nominal (1.0 = nominal)."""
+        return self.nominal_mhz / self.current_mhz
+
+    def __repr__(self):
+        return "FrequencyScaler({} MHz, nominal {} MHz)".format(
+            self.current_mhz, self.nominal_mhz
+        )

@@ -1,0 +1,70 @@
+"""Synthetic local temperature model.
+
+Centurion senses temperature through FPGA ring oscillators (Figure 2a,
+monitor group 4).  We have no silicon, so we substitute a first-order RC
+(Newton's-cooling) model driven by node activity: every busy microsecond
+adds heat proportional to the square of the frequency ratio (dynamic power
+~ f·V², with V roughly tracking f), and heat decays exponentially toward
+ambient.  The absolute numbers are arbitrary but the *dynamics* — hot spots
+follow sustained activity with a time constant — are what an intelligence
+model thresholding on temperature reacts to, so the monitor is faithful in
+shape.
+"""
+
+import math
+
+
+class ThermalModel:
+    """First-order thermal integrator for one node.
+
+    Parameters
+    ----------
+    ambient_c:
+        Ambient (idle steady-state) temperature, °C.
+    heat_per_busy_us:
+        Temperature rise contributed by one µs of busy time at nominal
+        frequency, before decay.
+    time_constant_us:
+        Exponential decay time constant toward ambient.
+
+    With the defaults, a node that is busy 100 % of the time settles about
+    ``heat_per_busy_us × time_constant_us = 20 °C`` above ambient — a
+    plausible FPGA hot-spot excursion.
+    """
+
+    def __init__(self, ambient_c=35.0, heat_per_busy_us=0.0004,
+                 time_constant_us=50_000):
+        if time_constant_us <= 0:
+            raise ValueError("time constant must be positive")
+        self.ambient_c = ambient_c
+        self.heat_per_busy_us = heat_per_busy_us
+        self.time_constant_us = time_constant_us
+        self._above_ambient = 0.0
+        self._last_update = 0
+
+    def _decay_to(self, now):
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._above_ambient *= math.exp(-elapsed / self.time_constant_us)
+            self._last_update = now
+
+    def record_busy(self, now, busy_us, frequency_ratio=1.0):
+        """Add heat for ``busy_us`` µs of work ending at ``now``.
+
+        ``frequency_ratio`` is current/nominal frequency; heat scales with
+        its square.
+        """
+        self._decay_to(now)
+        self._above_ambient += (
+            busy_us * self.heat_per_busy_us * frequency_ratio ** 2
+        )
+
+    def temperature(self, now):
+        """Current temperature in °C at simulation time ``now``."""
+        self._decay_to(now)
+        return self.ambient_c + self._above_ambient
+
+    def __repr__(self):
+        return "ThermalModel(+{:.2f}C above {}C)".format(
+            self._above_ambient, self.ambient_c
+        )

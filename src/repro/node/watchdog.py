@@ -1,0 +1,48 @@
+"""Node watchdog.
+
+One of the Centurion monitors is "watchdog signals from the node": a node
+that stops making progress (hung task, crashed core) stops kicking its
+watchdog, and the AIM can observe the starvation and act (reset knob).  The
+model is a plain dead-man timer: ``kick()`` on every completed execution,
+``expired(now)`` when the last kick is older than the timeout.
+"""
+
+
+class Watchdog:
+    """Dead-man timer for one processing element.
+
+    Parameters
+    ----------
+    timeout_us:
+        Silence (µs) after which the watchdog reports expiry.
+    """
+
+    def __init__(self, timeout_us=100_000):
+        if timeout_us <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.timeout_us = timeout_us
+        self.last_kick = 0
+        self.kicks = 0
+        self.expirations = 0
+
+    def kick(self, now):
+        """Signal liveness at time ``now``."""
+        self.last_kick = now
+        self.kicks += 1
+
+    def expired(self, now):
+        """True when no kick has arrived within the timeout."""
+        is_expired = (now - self.last_kick) > self.timeout_us
+        return is_expired
+
+    def check_and_count(self, now):
+        """Like :meth:`expired` but also counts observed expirations."""
+        if self.expired(now):
+            self.expirations += 1
+            return True
+        return False
+
+    def __repr__(self):
+        return "Watchdog(timeout={}us, last_kick={}, kicks={})".format(
+            self.timeout_us, self.last_kick, self.kicks
+        )

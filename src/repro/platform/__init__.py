@@ -1,0 +1,19 @@
+"""The Centurion many-core experimentation platform.
+
+Assembles the substrates into the system of paper §III: a 8×16 grid of 128
+nodes (router + processing element + AIM), an Experiment Controller attached
+to the North ports of four top-row routers with an out-of-band debug
+interface, and a fault-injection engine driven through that debug interface.
+"""
+
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+from repro.platform.controller import ExperimentController
+from repro.platform.faults import FaultInjector
+
+__all__ = [
+    "CenturionPlatform",
+    "PlatformConfig",
+    "ExperimentController",
+    "FaultInjector",
+]

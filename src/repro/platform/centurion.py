@@ -1,0 +1,194 @@
+"""Centurion platform assembly.
+
+Builds the full system of Figure 2a for every node — router, processing
+element, Artificial Intelligence Module — on top of one simulator, wires
+the fork-join workload and the metrics sampler, applies the initial
+mapping, and exposes ``run()``.  This is the main entry point of the
+library:
+
+>>> from repro.platform import CenturionPlatform, PlatformConfig
+>>> platform = CenturionPlatform(
+...     PlatformConfig.small(), model_name="foraging_for_work", seed=7)
+>>> platform.run()  # doctest: +SKIP
+"""
+
+from repro.app.mapping import (
+    balanced_mapping,
+    clustered_mapping,
+    random_mapping,
+)
+from repro.app.metrics import MetricsSampler
+from repro.app.taskgraph import fork_join_graph
+from repro.app.workload import ForkJoinWorkload
+from repro.core.aim import ArtificialIntelligenceModule
+from repro.core.models.registry import create_model, resolve_model_name
+from repro.node.processor import ProcessingElement
+from repro.noc.network import Network
+from repro.noc.router import RouterConfig
+from repro.noc.topology import MeshTopology
+from repro.platform.config import PlatformConfig
+from repro.platform.controller import ExperimentController
+from repro.platform.faults import FaultInjector
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+#: Trace categories recorded by default (cheap, needed by experiments).
+DEFAULT_TRACE_CATEGORIES = ("task_switch", "node_failed")
+
+
+class CenturionPlatform:
+    """A complete simulated Centurion many-core system.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.platform.config.PlatformConfig`; defaults to the
+        full 128-node Centurion-V6.
+    model_name:
+        Intelligence scheme for every AIM: ``"none"``,
+        ``"network_interaction"`` / ``"ni"``, ``"foraging_for_work"`` /
+        ``"ffw"``, or any extension model in the registry.
+    seed:
+        Master seed; determines mapping, fault victims, jitter — the whole
+        run.
+    model_params:
+        Optional overrides merged over ``config.model_params``.
+    trace_categories:
+        Which trace categories to record (``None`` = all, ``()`` = none).
+    """
+
+    def __init__(self, config=None, model_name="none", seed=0,
+                 model_params=None, trace_categories=DEFAULT_TRACE_CATEGORIES):
+        self.config = config if config is not None else PlatformConfig()
+        self.model_name = resolve_model_name(model_name)
+        self.seed = seed
+        self.sim = Simulator(seed=seed)
+        self.trace = TraceRecorder(trace_categories)
+        topology = MeshTopology(self.config.width, self.config.height)
+        self.network = Network(
+            self.sim,
+            topology=topology,
+            flit_time=self.config.flit_time_us,
+            wire_latency=self.config.wire_latency_us,
+            router_config=RouterConfig(
+                routing_mode=self.config.routing_mode,
+                router_latency=self.config.router_latency_us,
+                recent_queue_depth=self.config.recent_queue_depth,
+            ),
+            deadlock_wait_limit=self.config.deadlock_wait_limit_us,
+            max_reroutes=self.config.max_reroutes,
+            trace=self.trace,
+        )
+        self.graph = fork_join_graph(
+            fork_width=self.config.fork_width,
+            generation_period_us=self.config.generation_period_us,
+            source_service_us=self.config.source_service_us,
+            branch_service_us=self.config.branch_service_us,
+            sink_service_us=self.config.sink_service_us,
+            deadline_us=self.config.packet_deadline_us,
+        )
+        self.workload = ForkJoinWorkload(
+            self.sim,
+            self.graph,
+            packet_flits=self.config.packet_flits,
+            multicast=self.config.multicast_fork,
+        )
+        self.pes = {}
+        self.aims = {}
+        for node_id in topology.node_ids():
+            pe = ProcessingElement(
+                self.sim,
+                node_id,
+                self.network,
+                app=self.workload,
+                queue_capacity=self.config.queue_capacity,
+                service_jitter=self.config.service_jitter,
+                overflow_hold_us=self.config.overflow_hold_us,
+                trace=self.trace,
+            )
+            self.pes[node_id] = pe
+            self.aims[node_id] = ArtificialIntelligenceModule(
+                self.sim,
+                pe,
+                self.network.router(node_id),
+                self.network,
+                model=self._build_model(model_params),
+                tick_period_us=self.config.aim_tick_us,
+            )
+        self.network.set_deliver_handler(self._deliver)
+        self._apply_initial_mapping()
+        self.sampler = MetricsSampler(
+            self.sim,
+            self.pes.values(),
+            self.network.directory,
+            self.workload,
+            window_us=self.config.metrics_window_us,
+        ).start()
+        self.controller = ExperimentController(self)
+        self.faults = FaultInjector(self)
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _build_model(self, overrides):
+        if self.model_name == "none":
+            # The baseline still gets a (cheap, inert) model so that every
+            # node has a live AIM, as on the real platform.
+            params = {}
+        else:
+            params = dict(self.config.model_params(self.model_name))
+        if overrides:
+            params.update(overrides)
+        return create_model(
+            self.model_name, self.graph.task_ids(), **params
+        )
+
+    def _apply_initial_mapping(self):
+        rng = self.sim.rng.stream("initial-mapping")
+        weights = self.graph.weights()
+        topology = self.network.topology
+        if self.config.initial_mapping == "random":
+            mapping = random_mapping(topology.node_ids(), weights, rng)
+        elif self.config.initial_mapping == "balanced":
+            mapping = balanced_mapping(topology.node_ids(), weights, rng)
+        else:
+            mapping = clustered_mapping(topology, weights, rng)
+        for node_id, task_id in mapping.items():
+            self.pes[node_id].set_task(task_id, reason="init")
+        self.initial_mapping = mapping
+
+    def _deliver(self, packet, node_id):
+        self.pes[node_id].receive(packet)
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, horizon_us=None):
+        """Run the simulation to the horizon; returns the metrics series."""
+        horizon = (
+            self.config.horizon_us if horizon_us is None else horizon_us
+        )
+        self.sim.run_until(horizon)
+        return self.sampler.series
+
+    def inject_faults(self, count, at_us=None, victims=None):
+        """Schedule a fault campaign (defaults to the config's 500 ms)."""
+        at = self.config.fault_time_us if at_us is None else at_us
+        self.faults.schedule(count, at, victims=victims)
+
+    # -- convenience views ----------------------------------------------------------------
+
+    @property
+    def series(self):
+        return self.sampler.series
+
+    def task_census(self):
+        """Current nodes-per-task census (healthy nodes only)."""
+        return self.network.directory.task_census()
+
+    def total_task_switches(self):
+        """Intelligence-driven task switches across all nodes so far."""
+        return sum(pe.task_switches for pe in self.pes.values())
+
+    def __repr__(self):
+        return "CenturionPlatform({}x{}, model={!r}, seed={})".format(
+            self.config.width, self.config.height, self.model_name, self.seed
+        )

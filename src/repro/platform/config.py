@@ -1,0 +1,119 @@
+"""Platform configuration.
+
+One frozen dataclass carries every tunable of the reproduction, grouped by
+subsystem.  Defaults are the calibrated Centurion-V6 values: the paper's
+explicit parameters (8×16 grid, 4 ms task-1 period, 20 ms FFW timeout,
+500 ms fault injection, 1000 ms horizon) plus this reproduction's service
+times and NoC timings (documented in DESIGN.md).
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformConfig:
+    """All platform parameters with Centurion-V6 defaults."""
+
+    # -- grid ---------------------------------------------------------------
+    width: int = 16
+    height: int = 8
+
+    # -- NoC timing ----------------------------------------------------------
+    flit_time_us: int = 1
+    wire_latency_us: int = 1
+    router_latency_us: int = 2
+    packet_flits: int = 4
+    deadlock_wait_limit_us: int = 50_000
+    max_reroutes: int = 32
+    recent_queue_depth: int = 8
+    #: "xy" (the paper's evaluated heuristic) or "adaptive" (§V extension:
+    #: congestion-aware minimal output-port selection).
+    routing_mode: str = "xy"
+
+    # -- processing elements ----------------------------------------------------
+    queue_capacity: int = 6
+    service_jitter: float = 0.1
+    overflow_hold_us: int = 750
+
+    # -- task graph (Figure 3, ratio 1:3:1) ---------------------------------------
+    fork_width: int = 3
+    generation_period_us: int = 4_000
+    source_service_us: int = 500
+    branch_service_us: int = 12_500
+    sink_service_us: int = 3_000
+    packet_deadline_us: int = 16_000
+    #: Paper §V extension: emit all fork branches of an instance together
+    #: (once per ``fork_width`` periods) and fan them to distinct providers.
+    multicast_fork: bool = False
+
+    # -- intelligence ----------------------------------------------------------------
+    aim_tick_us: int = 2_000
+    ni_threshold: int = 24
+    ffw_timeout_us: int = 20_000
+    ffw_deadline_margin_us: int = 8_000
+
+    # -- experiment harness -------------------------------------------------------------
+    initial_mapping: str = "random"
+    metrics_window_us: int = 10_000
+    horizon_us: int = 1_000_000
+    fault_time_us: int = 500_000
+
+    def __post_init__(self):
+        if self.width < 2 or self.height < 1:
+            raise ValueError("grid must be at least 2x1")
+        if self.initial_mapping not in ("random", "balanced", "clustered"):
+            raise ValueError(
+                "unknown initial mapping {!r}".format(self.initial_mapping)
+            )
+        if self.routing_mode not in ("xy", "adaptive"):
+            raise ValueError(
+                "unknown routing mode {!r}".format(self.routing_mode)
+            )
+        if self.fault_time_us > self.horizon_us:
+            raise ValueError("fault time beyond horizon")
+        for field in (
+            "flit_time_us",
+            "generation_period_us",
+            "aim_tick_us",
+            "ffw_timeout_us",
+            "metrics_window_us",
+            "horizon_us",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError("{} must be positive".format(field))
+
+    @property
+    def num_nodes(self):
+        return self.width * self.height
+
+    def replace(self, **changes):
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def small(cls, **changes):
+        """A fast 4×4 configuration for tests and examples."""
+        base = dict(
+            width=4,
+            height=4,
+            horizon_us=200_000,
+            fault_time_us=100_000,
+        )
+        base.update(changes)
+        if (
+            "fault_time_us" not in changes
+            and base["fault_time_us"] > base["horizon_us"]
+        ):
+            base["fault_time_us"] = base["horizon_us"] // 2
+        return cls(**base)
+
+    def model_params(self, model_name):
+        """Constructor parameters for a named intelligence model."""
+        if model_name in ("network_interaction", "ni"):
+            return {"threshold": self.ni_threshold}
+        if model_name in ("foraging_for_work", "ffw"):
+            return {
+                "timeout_us": self.ffw_timeout_us,
+                "deadline_margin_us": self.ffw_deadline_margin_us,
+            }
+        return {}

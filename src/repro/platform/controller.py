@@ -1,0 +1,124 @@
+"""The Experiment Controller.
+
+Paper §III: "A larger processor, the Experiment Controller, is connected to
+the NoC via the North ports of four of the (otherwise unconnected) routers
+in the top row ... The experiment controller can also access the nodes
+separately to the NoC via a dedicated debug interface.  This allows
+experiment data to be downloaded and parameters to be set at runtime (e.g.
+for fault injection) without interfering with the NoC traffic of active
+experiments."
+
+Accordingly this class has two faces:
+
+* a NoC face — four attachment points on top-row North ports through which
+  it can inject packets into the network (used by the injection examples
+  and tests);
+* a debug face — direct, zero-time access to any node for state readout,
+  parameter upload (model/RCAP settings) and fault injection, which by
+  construction does not touch the NoC.
+"""
+
+
+class ExperimentController:
+    """PC-side management processor for a Centurion platform.
+
+    Parameters
+    ----------
+    platform:
+        The :class:`~repro.platform.centurion.CenturionPlatform` to manage.
+    attach_columns:
+        Grid columns of the four top-row routers whose North ports carry
+        the controller's NoC interfaces; defaults to four columns spread
+        evenly across the top row.
+    """
+
+    def __init__(self, platform, attach_columns=None):
+        self.platform = platform
+        topology = platform.network.topology
+        if attach_columns is None:
+            quarter = max(1, topology.width // 4)
+            attach_columns = tuple(
+                min(topology.width - 1, quarter // 2 + i * quarter)
+                for i in range(min(4, topology.width))
+            )
+        self.attach_points = tuple(
+            topology.node_id(x, 0) for x in attach_columns
+        )
+        self.injected = 0
+        self.faults_injected = []
+
+    # -- NoC face --------------------------------------------------------------
+
+    def inject_packet(self, packet, attach_index=0):
+        """Inject a packet through one of the four North-port interfaces."""
+        entry = self.attach_points[attach_index % len(self.attach_points)]
+        self.injected += 1
+        return self.platform.network.send(packet, entry)
+
+    # -- debug face -------------------------------------------------------------
+
+    def debug_read(self, node_id):
+        """Out-of-band node state snapshot (no NoC traffic)."""
+        pe = self.platform.pes[node_id]
+        router = self.platform.network.router(node_id)
+        return {
+            "node": node_id,
+            "task": pe.task_id,
+            "halted": pe.halted,
+            "queue_length": len(pe.queue),
+            "completions": pe.completions,
+            "task_switches": pe.task_switches,
+            "frequency_mhz": pe.frequency.current_mhz,
+            "temperature_c": pe.thermal.temperature(self.platform.sim.now),
+            "router_failed": router.failed,
+            "packets_forwarded": router.packets_forwarded,
+            "packets_sunk": router.packets_sunk,
+        }
+
+    def debug_set_task(self, node_id, task_id):
+        """Force a node's task assignment (experiment setup)."""
+        self.platform.pes[node_id].set_task(task_id, reason="controller")
+
+    def upload_model_params(self, params, node_ids=None):
+        """Retune hosted models at runtime via the RCAP path."""
+        targets = (
+            node_ids if node_ids is not None else list(self.platform.aims)
+        )
+        for node_id in targets:
+            self.platform.aims[node_id].rcap_write_params(params)
+
+    def rcap_write(self, node_id, settings):
+        """Remote router reconfiguration."""
+        self.platform.network.router(node_id).rcap_write(settings)
+
+    # -- fault injection ------------------------------------------------------------
+
+    def inject_fault(self, node_id):
+        """Kill one node: processor halts, router dies, AIM silenced.
+
+        Uses the debug interface, so injection itself produces no NoC
+        traffic — matching the paper's setup.
+        """
+        platform = self.platform
+        pe = platform.pes[node_id]
+        if pe.halted:
+            return
+        pe.halt()
+        aim = platform.aims.get(node_id)
+        if aim is not None:
+            aim.shutdown()
+        platform.network.fail_node(node_id)
+        self.faults_injected.append((platform.sim.now, node_id))
+
+    def alive_nodes(self):
+        """Node ids that have not been fault-injected."""
+        return [
+            node_id
+            for node_id, pe in self.platform.pes.items()
+            if not pe.halted
+        ]
+
+    def __repr__(self):
+        return "ExperimentController(attach={}, faults={})".format(
+            self.attach_points, len(self.faults_injected)
+        )

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the time substrate every other subsystem runs on.  It was
+written for the Centurion reproduction but contains nothing specific to the
+NoC: it provides an event queue ordered by (time, priority, sequence), a
+simulation clock in integer microseconds, seeded random-number streams and
+periodic processes.
+
+The kernel is deliberately deterministic: two simulations constructed with
+the same seed and the same sequence of ``schedule`` calls produce identical
+event orderings, which is what makes the 100-run quartile experiments of the
+paper statistically meaningful (every run differs only through its seed).
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.process import PeriodicProcess, delayed_call
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder, TraceRecord
+from repro.sim.units import (
+    MICROSECONDS_PER_MILLISECOND,
+    ms_to_us,
+    us_to_ms,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "PeriodicProcess",
+    "delayed_call",
+    "RngStreams",
+    "TraceRecorder",
+    "TraceRecord",
+    "MICROSECONDS_PER_MILLISECOND",
+    "ms_to_us",
+    "us_to_ms",
+]

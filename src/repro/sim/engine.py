@@ -1,0 +1,198 @@
+"""Event queue and simulation loop.
+
+The :class:`Simulator` is a classic calendar-queue discrete-event kernel:
+
+* events are ``(time, priority, seq, callback)`` tuples kept in a binary
+  heap, so ties at the same timestamp break first by priority and then by
+  insertion order — this makes runs reproducible;
+* ``run_until(horizon)`` pops and dispatches events until the queue is empty
+  or the horizon is passed;
+* cancelling is done by tombstoning (the heap entry stays, the handle is
+  marked dead), which is O(1) and the standard trick from the heapq docs.
+
+The kernel knows nothing about routers or ants; everything above it talks to
+it through :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+"""
+
+import heapq
+import itertools
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule`; user code keeps
+    them only if it may need to :meth:`cancel` the event later (e.g. the
+    Foraging-for-Work timeout that is reset whenever a packet is sunk
+    locally).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(self, time, priority, seq, callback):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event dead; the kernel will skip it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t={}, prio={}, seq={}, {})".format(
+            self.time, self.priority, self.seq, state
+        )
+
+
+class EventQueue:
+    """Binary-heap event queue with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return len(self._heap)
+
+    def push(self, time, priority, callback):
+        """Insert a callback and return its :class:`Event` handle."""
+        event = Event(time, priority, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Tombstoned (cancelled) events are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Timestamp of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-microsecond clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulation's random streams (see
+        :class:`repro.sim.rng.RngStreams`).  Two simulators with equal seeds
+        and equal scheduling sequences are bit-identical.
+    """
+
+    #: Default priority for ordinary events.
+    PRIORITY_NORMAL = 10
+    #: Priority for monitor sampling — runs after normal events at a tick.
+    PRIORITY_SAMPLE = 20
+    #: Priority for control-plane actions (fault injection) — runs first.
+    PRIORITY_CONTROL = 0
+
+    def __init__(self, seed=0):
+        from repro.sim.rng import RngStreams
+
+        self.now = 0
+        self.seed = seed
+        self.rng = RngStreams(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._dispatched = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay, callback, priority=PRIORITY_NORMAL):
+        """Schedule ``callback()`` to run ``delay`` µs from now.
+
+        ``delay`` must be a non-negative integer.  Returns the event handle.
+        """
+        if delay < 0:
+            raise SimulationError(
+                "cannot schedule {} us in the past".format(delay)
+            )
+        return self._queue.push(self.now + int(delay), priority, callback)
+
+    def schedule_at(self, time, callback, priority=PRIORITY_NORMAL):
+        """Schedule ``callback()`` at absolute time ``time`` µs."""
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule at t={} before now={}".format(time, self.now)
+            )
+        return self._queue.push(int(time), priority, callback)
+
+    # -- execution --------------------------------------------------------
+
+    def run_until(self, horizon):
+        """Dispatch events in order until ``horizon`` µs (inclusive).
+
+        The clock is left at ``horizon`` even if the queue drains early, so
+        sampling code can rely on ``sim.now`` after the call.  Events
+        scheduled exactly at the horizon are executed.
+        """
+        if self._running:
+            raise SimulationError("run_until re-entered")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                event = self._queue.pop()
+                self.now = event.time
+                event.callback()
+                self._dispatched += 1
+        finally:
+            self._running = False
+        if self.now < horizon:
+            self.now = horizon
+        return self._dispatched
+
+    def step(self):
+        """Dispatch exactly one event; return it or ``None`` if drained."""
+        event = self._queue.pop()
+        if event is None:
+            return None
+        self.now = event.time
+        event.callback()
+        self._dispatched += 1
+        return event
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending_events(self):
+        """Number of events currently in the queue (including tombstones)."""
+        return len(self._queue)
+
+    @property
+    def dispatched_events(self):
+        """Total number of events executed so far."""
+        return self._dispatched
+
+    def __repr__(self):
+        return "Simulator(now={}us, pending={}, dispatched={})".format(
+            self.now, self.pending_events, self._dispatched
+        )

@@ -1,0 +1,92 @@
+"""Recurring and delayed processes on top of the event kernel.
+
+:class:`PeriodicProcess` models things that tick at a fixed period — the
+task-1 packet sources (every 4 ms), the metric sampler (every 10 ms) and the
+thermal integrator.  It reschedules itself after each tick and can be stopped
+and restarted; restarting re-aligns the phase to "now + period".
+"""
+
+
+class PeriodicProcess:
+    """Run ``callback(process)`` every ``period`` µs until stopped.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`repro.sim.engine.Simulator` supplying time.
+    period:
+        Tick period in µs; must be positive.
+    callback:
+        Called with the process instance at each tick.
+    priority:
+        Event priority for the ticks.
+    jitter_rng, jitter:
+        Optional uniform phase jitter in µs added to every tick, drawn from
+        ``jitter_rng``; used by packet sources so that 25 task-1 nodes do not
+        all emit in the same microsecond.
+    """
+
+    def __init__(self, sim, period, callback, priority=None, jitter_rng=None,
+                 jitter=0):
+        if period <= 0:
+            raise ValueError("period must be positive, got {}".format(period))
+        self.sim = sim
+        self.period = int(period)
+        self.callback = callback
+        self.priority = (
+            sim.PRIORITY_NORMAL if priority is None else priority
+        )
+        self.jitter_rng = jitter_rng
+        self.jitter = int(jitter)
+        self.ticks = 0
+        self._event = None
+        self._stopped = True
+
+    # -- control -----------------------------------------------------------
+
+    def start(self, initial_delay=None):
+        """Begin ticking; first tick after ``initial_delay`` (default period)."""
+        self.stop()
+        self._stopped = False
+        delay = self.period if initial_delay is None else int(initial_delay)
+        self._event = self.sim.schedule(
+            delay + self._draw_jitter(), self._tick, priority=self.priority
+        )
+        return self
+
+    def stop(self):
+        """Cancel any pending tick; safe to call repeatedly."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self):
+        return not self._stopped
+
+    # -- internals ----------------------------------------------------------
+
+    def _draw_jitter(self):
+        if self.jitter_rng is None or self.jitter <= 0:
+            return 0
+        return self.jitter_rng.randrange(0, self.jitter + 1)
+
+    def _tick(self):
+        if self._stopped:
+            return
+        self.ticks += 1
+        self.callback(self)
+        if not self._stopped:
+            self._event = self.sim.schedule(
+                self.period + self._draw_jitter(),
+                self._tick,
+                priority=self.priority,
+            )
+
+
+def delayed_call(sim, delay, callback, priority=None):
+    """Schedule a one-shot ``callback()`` after ``delay`` µs; returns handle."""
+    if priority is None:
+        priority = sim.PRIORITY_NORMAL
+    return sim.schedule(delay, callback, priority=priority)

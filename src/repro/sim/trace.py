@@ -1,0 +1,58 @@
+"""Lightweight structured tracing.
+
+Experiments need time-stamped records of what happened (task switches, fault
+injections, packet sinks) to compute Figure 4's time series.  The
+:class:`TraceRecorder` is an append-only log of small named records with a
+category filter so that high-rate categories (per-hop routing events) can be
+disabled when not needed — the 100-run sweeps only record task switches and
+completions.
+"""
+
+from collections import namedtuple
+
+TraceRecord = namedtuple("TraceRecord", ["time", "category", "payload"])
+
+
+class TraceRecorder:
+    """Append-only simulation trace with category filtering.
+
+    Parameters
+    ----------
+    enabled_categories:
+        Iterable of category names to record, or ``None`` to record all.
+        An empty iterable records nothing.
+    """
+
+    def __init__(self, enabled_categories=None):
+        self.records = []
+        if enabled_categories is None:
+            self._enabled = None
+        else:
+            self._enabled = frozenset(enabled_categories)
+
+    def enabled(self, category):
+        """True if records in ``category`` would be stored."""
+        return self._enabled is None or category in self._enabled
+
+    def record(self, time, category, **payload):
+        """Store a record if its category is enabled."""
+        if self.enabled(category):
+            self.records.append(TraceRecord(time, category, payload))
+
+    def by_category(self, category):
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category):
+        """Number of records of one category."""
+        return sum(1 for r in self.records if r.category == category)
+
+    def clear(self):
+        """Drop all stored records (filters are kept)."""
+        del self.records[:]
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

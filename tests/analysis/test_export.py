@@ -1,0 +1,63 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    load_results_json,
+    results_to_csv,
+    results_to_json,
+    series_to_csv,
+)
+from repro.experiments.runner import run_single
+from repro.platform.config import PlatformConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_single("none", seed=4, config=PlatformConfig.small())
+
+
+def test_series_to_csv_roundtrip(result, tmp_path):
+    path = tmp_path / "series.csv"
+    rows = series_to_csv(result.series, path)
+    assert rows == len(result.series)
+    with open(path) as handle:
+        reader = list(csv.DictReader(handle))
+    assert len(reader) == rows
+    assert "census_task_2" in reader[0]
+    assert float(reader[0]["time_ms"]) == result.series.time_ms[0]
+
+
+def test_results_to_csv(result, tmp_path):
+    path = tmp_path / "results.csv"
+    count = results_to_csv([result, result], path)
+    assert count == 2
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["model"] == "none"
+    assert "settled_performance" in rows[0]
+
+
+def test_results_to_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        results_to_csv([], tmp_path / "x.csv")
+
+
+def test_results_to_json_and_load(result, tmp_path):
+    path = tmp_path / "results.json"
+    count = results_to_json([result], path, include_series=True)
+    assert count == 1
+    loaded = load_results_json(path)
+    assert loaded[0]["model"] == "none"
+    assert loaded[0]["app_stats"]["generated"] > 0
+    assert "active_nodes" in loaded[0]["series"]
+
+
+def test_results_to_json_without_series(result, tmp_path):
+    path = tmp_path / "lean.json"
+    results_to_json([result], path, include_series=False)
+    loaded = load_results_json(path)
+    assert "series" not in loaded[0]

@@ -1,0 +1,93 @@
+"""Tests for ASCII spatial maps."""
+
+import pytest
+
+from repro.analysis.heatmap import (
+    activity_map,
+    queue_map,
+    render_grid,
+    switch_map,
+    task_map,
+    temperature_map,
+)
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+
+
+@pytest.fixture
+def platform():
+    return CenturionPlatform(PlatformConfig.small(), model_name="none",
+                             seed=31)
+
+
+class TestRenderGrid:
+    def test_layout_rows_and_columns(self):
+        topology = MeshTopology(3, 2)
+        values = {n: n for n in topology.node_ids()}
+        text = render_grid(topology, values)
+        lines = text.split("\n")
+        assert lines[0].split() == ["0", "1", "2"]
+        assert lines[1].split() == ["3", "4", "5"]
+
+    def test_missing_nodes_render_dot(self):
+        topology = MeshTopology(2, 1)
+        text = render_grid(topology, {0: 7})
+        assert text.split("\n")[0].split() == ["7", "."]
+
+    def test_title_and_legend(self):
+        topology = MeshTopology(2, 1)
+        text = render_grid(topology, {}, title="TOP", legend="BOTTOM")
+        lines = text.split("\n")
+        assert lines[0] == "TOP"
+        assert lines[-1] == "BOTTOM"
+
+    def test_custom_formatter(self):
+        topology = MeshTopology(2, 1)
+        text = render_grid(topology, {0: 3, 1: 4},
+                           formatter=lambda v: "x" * v)
+        assert "xxx" in text and "xxxx" in text
+
+    def test_cells_aligned_to_widest(self):
+        topology = MeshTopology(2, 1)
+        text = render_grid(topology, {0: 5, 1: 123})
+        row = text.split("\n")[0]
+        assert row == "  5 123"
+
+
+class TestPlatformMaps:
+    def test_task_map_shows_tasks_and_failures(self, platform):
+        platform.controller.inject_fault(5)
+        text = task_map(platform)
+        assert "X" in text
+        assert "task topology" in text
+        # 15 surviving nodes each show a task digit.
+        digits = sum(text.count(d) for d in "123")
+        assert digits >= 15  # legend also contains task ids
+
+    def test_activity_map_runs(self, platform):
+        platform.run(50_000)
+        text = activity_map(platform)
+        assert "execution activity" in text
+        assert any(ch.isdigit() for ch in text)
+
+    def test_temperature_map_near_ambient(self, platform):
+        text = temperature_map(platform)
+        assert "35" in text
+
+    def test_switch_map_zero_for_baseline(self, platform):
+        platform.run(50_000)
+        text = switch_map(platform)
+        grid_rows = text.split("\n")[1:]
+        assert all(
+            cell == "0" for row in grid_rows for cell in row.split()
+        )
+
+    def test_queue_map_reflects_queued_packets(self, platform):
+        pe = platform.pes[5]
+        pe.set_task(2, reason="init")
+        for _ in range(3):
+            pe.receive(Packet(0, dest_task=2))
+        text = queue_map(platform)
+        assert "2" in text  # 3 received, 1 executing, 2 queued

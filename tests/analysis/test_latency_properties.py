@@ -1,0 +1,48 @@
+"""Property tests for the streaming latency statistics."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.latency import LatencyStats
+
+samples = st.lists(
+    st.integers(min_value=0, max_value=200_000), min_size=1, max_size=200
+)
+
+
+@given(samples)
+def test_mean_within_extremes(values):
+    stats = LatencyStats()
+    for value in values:
+        stats.add(value)
+    assert stats.minimum <= stats.mean <= stats.maximum
+    assert stats.count == len(values)
+
+
+@given(samples)
+def test_quantiles_monotone(values):
+    stats = LatencyStats(bucket_us=100, num_buckets=2_100)
+    for value in values:
+        stats.add(value)
+    quantiles = [stats.quantile(f) for f in (0.1, 0.5, 0.9, 1.0)]
+    assert quantiles == sorted(quantiles)
+
+
+@given(samples)
+def test_quantile_brackets_true_median(values):
+    """Histogram p50 must land within one bucket of the exact median."""
+    bucket = 100
+    stats = LatencyStats(bucket_us=bucket, num_buckets=2_100)
+    for value in values:
+        stats.add(value)
+    ordered = sorted(values)
+    exact = ordered[(len(ordered) - 1) // 2]
+    approx = stats.quantile(0.5)
+    assert abs(approx - exact) <= bucket
+
+
+@given(samples)
+def test_variance_non_negative(values):
+    stats = LatencyStats()
+    for value in values:
+        stats.add(value)
+    assert stats.variance >= 0.0

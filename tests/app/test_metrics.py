@@ -1,0 +1,97 @@
+"""Tests for the metrics sampler and series."""
+
+import pytest
+
+from repro.app.metrics import MetricsSeries
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+
+
+class TestMetricsSeries:
+    def test_append_and_len(self):
+        series = MetricsSeries(task_ids=(1, 2))
+        series.append(
+            time_ms=10.0, active_nodes=4, executions=9, sink_executions=3,
+            joins=1, task_switches=0, alive_nodes=16, census={1: 5, 2: 11},
+        )
+        assert len(series) == 1
+        assert series.census[1] == [5]
+
+    def test_missing_census_task_recorded_as_zero(self):
+        series = MetricsSeries(task_ids=(1, 2))
+        series.append(
+            time_ms=10.0, active_nodes=0, executions=0, sink_executions=0,
+            joins=0, task_switches=0, alive_nodes=16, census={1: 16},
+        )
+        assert series.census[2] == [0]
+
+    def test_mean_over_range(self):
+        series = MetricsSeries(task_ids=(1,))
+        for t, value in ((10, 2), (20, 4), (30, 60)):
+            series.append(
+                time_ms=float(t), active_nodes=value, executions=0,
+                sink_executions=0, joins=0, task_switches=0, alive_nodes=1,
+                census={},
+            )
+        assert series.mean("active_nodes") == 22.0
+        assert series.mean("active_nodes", start_ms=10, end_ms=30) == 3.0
+
+    def test_mean_of_empty_range_is_zero(self):
+        series = MetricsSeries(task_ids=(1,))
+        assert series.mean("active_nodes", start_ms=0, end_ms=10) == 0.0
+
+    def test_window_slice(self):
+        series = MetricsSeries(task_ids=(1,))
+        for t in (10.0, 20.0, 30.0):
+            series.append(
+                time_ms=t, active_nodes=0, executions=0, sink_executions=0,
+                joins=0, task_switches=0, alive_nodes=1, census={},
+            )
+        assert series.window_slice(15, 35) == [1, 2]
+
+    def test_as_dict_roundtrip(self):
+        series = MetricsSeries(task_ids=(1,))
+        series.append(
+            time_ms=10.0, active_nodes=1, executions=2, sink_executions=3,
+            joins=4, task_switches=5, alive_nodes=6, census={1: 7},
+        )
+        data = series.as_dict()
+        assert data["joins"] == [4]
+        assert data["census"][1] == [7]
+
+
+class TestSamplerOnPlatform:
+    @pytest.fixture(scope="class")
+    def platform(self):
+        p = CenturionPlatform(
+            PlatformConfig.small(), model_name="none", seed=5
+        )
+        p.run(100_000)
+        return p
+
+    def test_window_count(self, platform):
+        # 100ms at 10ms windows.
+        assert len(platform.series) == 10
+
+    def test_time_axis_in_ms(self, platform):
+        assert platform.series.time_ms[0] == 10.0
+        assert platform.series.time_ms[-1] == 100.0
+
+    def test_census_sums_to_alive_nodes(self, platform):
+        series = platform.series
+        for i in range(len(series)):
+            total = sum(series.census[t][i] for t in series.census)
+            assert total == series.alive_nodes[i]
+
+    def test_active_nodes_bounded_by_alive(self, platform):
+        series = platform.series
+        assert all(
+            a <= alive
+            for a, alive in zip(series.active_nodes, series.alive_nodes)
+        )
+
+    def test_baseline_has_no_switches(self, platform):
+        assert sum(platform.series.task_switches) == 0
+
+    def test_executions_accumulate(self, platform):
+        assert sum(platform.series.executions) > 0

@@ -1,0 +1,163 @@
+"""Tests for the fork-join workload logic."""
+
+import pytest
+
+from repro.app.taskgraph import TASK_BRANCH, TASK_SINK, TASK_SOURCE, \
+    fork_join_graph
+from repro.app.workload import ForkJoinWorkload
+from repro.noc.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class FakePE:
+    def __init__(self, node_id, task_id, gen_seq=0):
+        self.node_id = node_id
+        self.task_id = task_id
+        self._gen_seq = gen_seq
+
+
+@pytest.fixture
+def workload():
+    sim = Simulator(seed=0)
+    return ForkJoinWorkload(sim, fork_join_graph())
+
+
+class TestServiceAndPeriods:
+    def test_service_times_from_graph(self, workload):
+        graph = workload.graph
+        assert workload.service_time(TASK_BRANCH) == graph.task(
+            TASK_BRANCH).service_us
+
+    def test_generation_period_only_for_source(self, workload):
+        assert workload.generation_period(TASK_SOURCE) == 4_000
+        assert workload.generation_period(TASK_BRANCH) is None
+        assert workload.generation_period(99) is None
+
+
+class TestGeneration:
+    def test_source_emits_branch_packets_cycling(self, workload):
+        pe = FakePE(7, TASK_SOURCE)
+        branches = []
+        for seq in range(6):
+            pe._gen_seq = seq
+            (packet,) = workload.packets_for_generation(pe)
+            branches.append((packet.instance, packet.branch))
+            assert packet.dest_task == TASK_BRANCH
+        assert branches == [
+            ((7, 0), 0), ((7, 0), 1), ((7, 0), 2),
+            ((7, 1), 0), ((7, 1), 1), ((7, 1), 2),
+        ]
+
+    def test_non_source_generates_nothing(self, workload):
+        assert workload.packets_for_generation(FakePE(7, TASK_BRANCH)) == []
+
+    def test_generation_stamps_deadline(self, workload):
+        (packet,) = workload.packets_for_generation(FakePE(7, TASK_SOURCE))
+        assert packet.deadline == workload.sim.now + workload.graph.task(
+            TASK_SOURCE).deadline_us
+
+
+class TestPipeline:
+    def test_branch_execution_forwards_to_sink(self, workload):
+        pe = FakePE(3, TASK_BRANCH)
+        incoming = Packet(7, TASK_BRANCH, instance=(7, 0), branch=1)
+        (out,) = workload.packets_after_execution(pe, incoming)
+        assert out.dest_task == TASK_SINK
+        assert out.instance == (7, 0)
+        assert out.branch == 1
+
+    def test_source_sinking_result_emits_nothing(self, workload):
+        pe = FakePE(7, TASK_SOURCE)
+        result = Packet(9, TASK_SOURCE, instance=(7, 0))
+        assert workload.packets_after_execution(pe, result) == []
+
+
+class TestJoin:
+    def sink(self, workload, instance, branch, node=9):
+        pe = FakePE(node, TASK_SINK)
+        packet = Packet(3, TASK_SINK, instance=instance, branch=branch)
+        return workload.packets_after_execution(pe, packet)
+
+    def test_join_completes_after_all_branches(self, workload):
+        assert self.sink(workload, (7, 0), 0) == []
+        assert self.sink(workload, (7, 0), 1) == []
+        out = self.sink(workload, (7, 0), 2)
+        assert workload.joins == 1
+        (result,) = out
+        assert result.dest_task == TASK_SOURCE
+        assert result.instance == (7, 0)
+
+    def test_straggler_after_join_does_not_reopen_instance(self, workload):
+        self.sink(workload, (7, 0), 0)
+        self.sink(workload, (7, 0), 1)
+        self.sink(workload, (7, 0), 2)
+        assert workload.joins == 1
+        # A diverted duplicate of branch 0 arrives after the join.
+        assert self.sink(workload, (7, 0), 0) == []
+        assert workload.joins == 1
+        assert workload.pending_join_count == 0
+        assert workload.duplicate_branches == 1
+
+    def test_prune_also_forgets_completed_instances(self, workload):
+        for branch in range(3):
+            self.sink(workload, (7, 0), branch)
+        self.sink(workload, (7, 100_000), 0)
+        workload.prune_stale_joins(older_than_instances=50_000)
+        # The ancient completed instance was forgotten...
+        assert (7, 0) not in workload._completed_joins
+        # ...so a ghost branch for it opens a (doomed) pending entry rather
+        # than being mis-ascribed to the duplicate counter.
+        self.sink(workload, (7, 0), 1)
+        assert workload.pending_join_count == 2
+
+    def test_duplicate_branch_not_double_counted(self, workload):
+        self.sink(workload, (7, 0), 0)
+        self.sink(workload, (7, 0), 0)
+        assert workload.duplicate_branches == 1
+        assert workload.pending_join_count == 1
+        assert workload.joins == 0
+
+    def test_branches_may_join_at_different_sinks(self, workload):
+        self.sink(workload, (7, 0), 0, node=9)
+        self.sink(workload, (7, 0), 1, node=11)
+        self.sink(workload, (7, 0), 2, node=14)
+        assert workload.joins == 1
+
+    def test_interleaved_instances(self, workload):
+        self.sink(workload, (7, 0), 0)
+        self.sink(workload, (8, 0), 0)
+        self.sink(workload, (7, 0), 1)
+        self.sink(workload, (8, 0), 1)
+        self.sink(workload, (8, 0), 2)
+        assert workload.joins == 1
+        assert workload.pending_join_count == 1
+
+    def test_packet_without_instance_ignored(self, workload):
+        pe = FakePE(9, TASK_SINK)
+        packet = Packet(3, TASK_SINK, instance=None)
+        assert workload.packets_after_execution(pe, packet) == []
+        assert workload.joins == 0
+
+    def test_prune_stale_joins(self, workload):
+        self.sink(workload, (7, 0), 0)
+        self.sink(workload, (7, 100_000), 0)
+        pruned = workload.prune_stale_joins(older_than_instances=50_000)
+        assert pruned == 1
+        assert workload.pending_join_count == 1
+
+
+class TestStats:
+    def test_stats_snapshot(self, workload):
+        pe = FakePE(7, TASK_SOURCE)
+        workload.packets_for_generation(pe)
+        stats = workload.stats()
+        assert stats["generated"] == 1
+        assert stats["joins"] == 0
+        assert TASK_BRANCH in stats["executions_by_task"]
+
+    def test_executions_counted_per_task(self, workload):
+        pe = FakePE(3, TASK_BRANCH)
+        workload.packets_after_execution(
+            pe, Packet(7, TASK_BRANCH, instance=(7, 0), branch=0)
+        )
+        assert workload.executions_by_task[TASK_BRANCH] == 1

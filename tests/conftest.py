@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+class RecordingObserver:
+    """Observer stub recording every event it receives."""
+
+    def __init__(self):
+        self.routed = []
+        self.sinks = []
+        self.completions = []
+        self.task_changes = []
+
+    def on_packet_routed(self, router, packet, to_internal):
+        self.routed.append((router.node_id, packet.dest_task, to_internal))
+
+    def on_internal_sink(self, pe, packet):
+        self.sinks.append((pe.node_id, packet.dest_task))
+
+    def on_execution_complete(self, pe, task_id):
+        self.completions.append((pe.node_id, task_id))
+
+    def on_task_changed(self, pe, old, new):
+        self.task_changes.append((pe.node_id, old, new))
+
+
+@pytest.fixture
+def recording_observer():
+    return RecordingObserver()

@@ -1,0 +1,48 @@
+"""Tests for vector-match comparators."""
+
+from repro.core.comparators import VectorMatchComparator
+from repro.core.spikes import SpikeIntegrator
+
+
+def test_fires_on_match_only():
+    comparator = VectorMatchComparator(pattern=2)
+    integrator = SpikeIntegrator()
+    comparator.output.connect(integrator.spike)
+    assert comparator.present(2)
+    assert not comparator.present(3)
+    assert integrator.read() == 1
+
+
+def test_match_statistics():
+    comparator = VectorMatchComparator(pattern=2)
+    for value in (1, 2, 2, 3):
+        comparator.present(value)
+    assert comparator.presentations == 4
+    assert comparator.matches == 2
+    assert comparator.match_rate == 0.5
+
+
+def test_match_rate_zero_when_unused():
+    assert VectorMatchComparator(pattern=1).match_rate == 0.0
+
+
+def test_mask_applied_before_comparison():
+    comparator = VectorMatchComparator(pattern=0x02, mask=lambda v: v & 0x0F)
+    assert comparator.present(0xF2)
+    assert not comparator.present(0xF3)
+
+
+def test_payload_defaults_to_matched_value():
+    comparator = VectorMatchComparator(pattern="task-a")
+    seen = []
+    comparator.output.connect(seen.append)
+    comparator.present("task-a")
+    assert seen == ["task-a"]
+
+
+def test_explicit_payload_forwarded():
+    comparator = VectorMatchComparator(pattern=1)
+    seen = []
+    comparator.output.connect(seen.append)
+    comparator.present(1, payload={"extra": True})
+    assert seen == [{"extra": True}]

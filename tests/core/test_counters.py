@@ -1,0 +1,89 @@
+"""Tests for saturating counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import SaturatingCounter
+
+
+def test_excite_and_inhibit():
+    counter = SaturatingCounter()
+    counter.excite()
+    counter.excite(amount=3)
+    counter.inhibit()
+    assert counter.value == 3
+
+
+def test_saturates_high():
+    counter = SaturatingCounter(maximum=5)
+    for _ in range(10):
+        counter.excite()
+    assert counter.value == 5
+    assert counter.saturated_high
+
+
+def test_saturates_low():
+    counter = SaturatingCounter(minimum=0, initial=2)
+    for _ in range(10):
+        counter.inhibit()
+    assert counter.value == 0
+    assert counter.saturated_low
+
+
+def test_leak_decays_without_event_accounting():
+    counter = SaturatingCounter(initial=5)
+    counter.leak(2)
+    assert counter.value == 3
+    assert counter.inhibitions == 0
+
+
+def test_reset_to_minimum_by_default():
+    counter = SaturatingCounter(minimum=1, initial=5)
+    counter.reset()
+    assert counter.value == 1
+
+
+def test_reset_to_explicit_value():
+    counter = SaturatingCounter(initial=5)
+    counter.reset(3)
+    assert counter.value == 3
+
+
+def test_reset_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        SaturatingCounter(maximum=10).reset(11)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        SaturatingCounter(minimum=5, maximum=1)
+
+
+def test_invalid_initial_rejected():
+    with pytest.raises(ValueError):
+        SaturatingCounter(minimum=0, maximum=5, initial=9)
+
+
+def test_event_accounting():
+    counter = SaturatingCounter()
+    counter.excite()
+    counter.excite()
+    counter.inhibit()
+    assert counter.excitations == 2
+    assert counter.inhibitions == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["excite", "inhibit", "leak"]),
+                  st.integers(min_value=0, max_value=10)),
+        max_size=60,
+    )
+)
+def test_value_always_within_bounds(operations):
+    counter = SaturatingCounter(minimum=2, maximum=17, initial=5)
+    for op, amount in operations:
+        getattr(counter, op)(amount=amount) if op != "leak" else counter.leak(
+            amount
+        )
+        assert 2 <= counter.value <= 17

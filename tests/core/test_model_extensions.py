@@ -1,0 +1,179 @@
+"""Tests for the four extension models (Figure 1 classes 1-4)."""
+
+from repro.core.models.information_transfer import InformationTransferModel
+from repro.core.models.response_threshold import ResponseThresholdModel
+from repro.core.models.self_reinforcement import SelfReinforcementModel
+from repro.core.models.social_inhibition import SocialInhibitionModel
+from repro.noc.packet import Packet
+
+
+def transit(task):
+    packet = Packet(0, dest_task=task)
+    packet.hops = 1
+    return packet
+
+
+def feed(model, aim, task, count):
+    for _ in range(count):
+        model.on_packet_routed(aim, transit(task), to_internal=False,
+                               injected=False)
+
+
+class TestResponseThreshold:
+    def test_innate_thresholds_within_range(self, stub_aim):
+        model = ResponseThresholdModel(
+            (1, 2, 3), threshold_low=10, threshold_high=20
+        )
+        model.bind(stub_aim)
+        assert set(model.innate_thresholds) == {1, 2, 3}
+        assert all(10 <= t <= 20 for t in model.innate_thresholds.values())
+
+    def test_sustained_stimulus_triggers_engagement(self, stub_aim):
+        model = ResponseThresholdModel(
+            (1, 2, 3), threshold_low=5, threshold_high=5, leak_per_tick=0
+        )
+        model.bind(stub_aim)
+        feed(model, stub_aim, task=2, count=6)
+        assert stub_aim.switches == [(0, 2)]
+
+    def test_leak_suppresses_slow_trickle(self, stub_aim):
+        model = ResponseThresholdModel(
+            (1, 2, 3), threshold_low=5, threshold_high=5, leak_per_tick=2
+        )
+        model.bind(stub_aim)
+        for i in range(20):
+            feed(model, stub_aim, task=2, count=1)
+            model.on_tick(stub_aim, now=i * 1000)  # leak between packets
+        assert stub_aim.switches == []
+
+    def test_thresholds_vary_across_nodes(self, sim):
+        from tests.core.conftest import StubAim
+
+        thresholds = []
+        for node in range(6):
+            aim = StubAim(sim, node_id=node)
+            model = ResponseThresholdModel((1, 2, 3))
+            model.bind(aim)
+            thresholds.append(tuple(model.innate_thresholds.values()))
+        assert len(set(thresholds)) > 1  # genetic variation
+
+    def test_stimulus_levels_view(self, stub_aim):
+        model = ResponseThresholdModel((1, 2), threshold_low=50,
+                                       threshold_high=50)
+        model.bind(stub_aim)
+        feed(model, stub_aim, task=2, count=3)
+        assert model.stimulus_levels() == {1: 0, 2: 3}
+
+
+class TestInformationTransfer:
+    def test_neighbor_providers_inhibit_stimulus(self, stub_aim):
+        stub_aim.monitors.values["neighbor_tasks"] = {"N": 2, "E": 2}
+        model = InformationTransferModel(
+            (1, 2, 3), threshold_low=5, threshold_high=5,
+            leak_per_tick=0, neighbor_inhibition=1,
+        )
+        model.bind(stub_aim)
+        feed(model, stub_aim, task=2, count=4)
+        model.on_tick(stub_aim, now=1000)  # inhibition: -2 on task 2
+        feed(model, stub_aim, task=2, count=2)
+        # 4 - 2 + 2 = 4 < 5: still below the threshold.
+        assert stub_aim.switches == []
+        feed(model, stub_aim, task=2, count=2)
+        assert stub_aim.switches == [(0, 2)]
+
+    def test_none_neighbors_ignored(self, stub_aim):
+        stub_aim.monitors.values["neighbor_tasks"] = {"N": None}
+        model = InformationTransferModel((1, 2, 3))
+        model.bind(stub_aim)
+        model.on_tick(stub_aim, now=1000)  # must not raise
+
+
+class TestSelfReinforcement:
+    def test_practice_lowers_threshold(self, stub_aim):
+        model = SelfReinforcementModel(
+            (1, 2), threshold_low=20, threshold_high=20, reinforcement=2
+        )
+        model.bind(stub_aim)
+        for _ in range(5):
+            model.on_execution_complete(stub_aim, task_id=1)
+        unit = model.pathway.thresholds["task-1"]
+        assert unit.threshold == 10
+        assert model.specialisation()[1] == 10
+
+    def test_threshold_floor(self, stub_aim):
+        model = SelfReinforcementModel(
+            (1,), threshold_low=10, threshold_high=10, reinforcement=5
+        )
+        model.bind(stub_aim)
+        for _ in range(10):
+            model.on_execution_complete(stub_aim, task_id=1)
+        assert (
+            model.pathway.thresholds["task-1"].threshold
+            == SelfReinforcementModel.MIN_THRESHOLD
+        )
+
+    def test_disuse_forgets_back_to_innate(self, stub_aim):
+        model = SelfReinforcementModel(
+            (1, 2), threshold_low=20, threshold_high=20,
+            reinforcement=4, forgetting=2, forgetting_period_ticks=1,
+        )
+        model.bind(stub_aim)
+        model.on_execution_complete(stub_aim, task_id=2)  # 20 -> 16
+        stub_aim._task = 1  # now practising something else
+        for i in range(10):
+            model.on_tick(stub_aim, now=i * 1000)
+        assert model.pathway.thresholds["task-2"].threshold == 20
+
+    def test_forgetting_never_exceeds_innate(self, stub_aim):
+        model = SelfReinforcementModel(
+            (1, 2), threshold_low=20, threshold_high=20,
+            forgetting=50, forgetting_period_ticks=1,
+        )
+        model.bind(stub_aim)
+        stub_aim._task = 1
+        for i in range(5):
+            model.on_tick(stub_aim, now=i * 1000)
+        assert model.pathway.thresholds["task-2"].threshold == 20
+
+
+class TestSocialInhibition:
+    def test_crowding_raises_threshold(self, stub_aim):
+        stub_aim.monitors.values["neighbor_tasks"] = {
+            "N": 2, "E": 2, "S": 2,
+        }
+        model = SocialInhibitionModel(
+            (1, 2, 3), threshold_low=10, threshold_high=10,
+            crowd_size=2, crowd_penalty=15,
+        )
+        model.bind(stub_aim)
+        model.on_tick(stub_aim, now=1000)
+        assert model.crowded_tasks() == {2}
+        assert model.pathway.thresholds["task-2"].threshold == 25
+
+    def test_crowd_dispersal_restores_innate(self, stub_aim):
+        stub_aim.monitors.values["neighbor_tasks"] = {"N": 2, "E": 2}
+        model = SocialInhibitionModel(
+            (1, 2), threshold_low=10, threshold_high=10,
+            crowd_size=2, crowd_penalty=15,
+        )
+        model.bind(stub_aim)
+        model.on_tick(stub_aim, now=1000)
+        assert model.crowded_tasks() == {2}
+        stub_aim.monitors.values["neighbor_tasks"] = {"N": 1, "E": 2}
+        model.on_tick(stub_aim, now=2000)
+        assert model.crowded_tasks() == set()
+        assert model.pathway.thresholds["task-2"].threshold == 10
+
+    def test_crowded_task_needs_stronger_stimulus(self, stub_aim):
+        stub_aim.monitors.values["neighbor_tasks"] = {"N": 2, "E": 2}
+        model = SocialInhibitionModel(
+            (1, 2), threshold_low=3, threshold_high=3,
+            leak_per_tick=0, neighbor_inhibition=0,
+            crowd_size=2, crowd_penalty=10,
+        )
+        model.bind(stub_aim)
+        model.on_tick(stub_aim, now=1000)
+        feed(model, stub_aim, task=2, count=4)  # above innate, below crowd
+        assert stub_aim.switches == []
+        feed(model, stub_aim, task=2, count=10)
+        assert stub_aim.switches == [(0, 2)]

@@ -1,0 +1,92 @@
+"""Tests for the Network Interaction model."""
+
+from repro.core.models.network_interaction import NetworkInteractionModel
+from repro.noc.packet import Packet
+
+
+def make_model(stub_aim, threshold=4):
+    model = NetworkInteractionModel(task_ids=(1, 2, 3), threshold=threshold)
+    model.bind(stub_aim)
+    return model
+
+
+def routed(model, aim, task, injected=False, to_internal=False):
+    packet = Packet(0, dest_task=task)
+    packet.hops = 0 if injected else 1
+    model.on_packet_routed(aim, packet, to_internal=to_internal,
+                           injected=injected)
+
+
+def test_switches_when_task_count_exceeds_threshold(stub_aim):
+    model = make_model(stub_aim, threshold=4)
+    for _ in range(5):
+        routed(model, stub_aim, task=2)
+    assert stub_aim.switches == [(0, 2)]
+
+
+def test_threshold_boundary_is_strict(stub_aim):
+    model = make_model(stub_aim, threshold=4)
+    for _ in range(4):
+        routed(model, stub_aim, task=2)
+    assert stub_aim.switches == []
+
+
+def test_all_counters_reset_after_switch(stub_aim):
+    model = make_model(stub_aim, threshold=4)
+    for _ in range(3):
+        routed(model, stub_aim, task=3)
+    for _ in range(5):
+        routed(model, stub_aim, task=2)
+    assert model.counter_values() == {1: 0, 2: 0, 3: 0}
+
+
+def test_injected_packets_ignored(stub_aim):
+    model = make_model(stub_aim, threshold=2)
+    for _ in range(10):
+        routed(model, stub_aim, task=2, injected=True)
+    assert stub_aim.switches == []
+    assert model.counter_values()[2] == 0
+
+
+def test_internal_sinks_also_counted(stub_aim):
+    """The paper counts every routed packet, internal deliveries included."""
+    model = make_model(stub_aim, threshold=2)
+    for _ in range(3):
+        routed(model, stub_aim, task=2, to_internal=True)
+    assert stub_aim.switches == [(0, 2)]
+
+
+def test_switch_to_current_task_resets_without_knob_call(stub_aim):
+    stub_aim._task = 2
+    model = make_model(stub_aim, threshold=2)
+    for _ in range(3):
+        routed(model, stub_aim, task=2)
+    assert stub_aim.switches == []  # already on task 2
+    assert model.switches_fired == 1  # but the thresholder did fire
+
+
+def test_mixed_traffic_most_frequent_task_wins(stub_aim):
+    model = make_model(stub_aim, threshold=4)
+    pattern = [2, 3, 2, 3, 2, 2, 2]  # task 2 reaches 5 > 4; task 3 only 2
+    for task in pattern:
+        routed(model, stub_aim, task=task)
+    assert stub_aim.switches == [(0, 2)]
+
+
+def test_configure_threshold_updates_units(stub_aim):
+    model = make_model(stub_aim, threshold=50)
+    model.configure(threshold=2)
+    for _ in range(3):
+        routed(model, stub_aim, task=3)
+    assert stub_aim.switches == [(0, 3)]
+
+
+def test_counter_values_before_bind():
+    model = NetworkInteractionModel(task_ids=(1, 2), threshold=3)
+    assert model.counter_values() == {}
+
+
+def test_model_metadata():
+    model = NetworkInteractionModel(task_ids=(1,))
+    assert model.name == "network_interaction"
+    assert model.model_number == 6

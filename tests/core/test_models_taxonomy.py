@@ -1,0 +1,101 @@
+"""Tests for the Figure 1 taxonomy and the model registry."""
+
+import pytest
+
+from repro.core.models import MODEL_REGISTRY, create_model
+from repro.core.models.base import FACTORS, IntelligenceModel
+from repro.core.models.registry import MODEL_ALIASES, resolve_model_name
+
+
+def test_all_six_figure1_classes_plus_baseline_registered():
+    numbers = {
+        cls.model_number
+        for cls in MODEL_REGISTRY.values()
+        if cls.model_number is not None
+    }
+    assert numbers == {1, 2, 3, 4, 5, 6}
+    assert "none" in MODEL_REGISTRY
+
+
+def test_registry_keys_match_class_names():
+    for name, cls in MODEL_REGISTRY.items():
+        assert cls.name == name
+
+
+def test_paper_aliases_resolve():
+    assert resolve_model_name("ni") == "network_interaction"
+    assert resolve_model_name("ffw") == "foraging_for_work"
+    assert resolve_model_name("no_intelligence") == "none"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        resolve_model_name("quantum_ants")
+
+
+def test_create_model_returns_fresh_instances():
+    a = create_model("ffw", (1, 2, 3))
+    b = create_model("ffw", (1, 2, 3))
+    assert a is not b
+
+
+def test_create_model_forwards_params():
+    model = create_model("ni", (1, 2), threshold=7)
+    assert model.threshold == 7
+
+
+def test_factors_are_valid_constants():
+    for cls in MODEL_REGISTRY.values():
+        assert cls.factors <= FACTORS.ALL
+
+
+def test_external_internal_partition():
+    assert FACTORS.EXTERNAL | FACTORS.INTERNAL == FACTORS.ALL
+    assert not FACTORS.EXTERNAL & FACTORS.INTERNAL
+
+
+def test_evaluated_models_factor_sets_match_figure1():
+    ni = MODEL_REGISTRY["network_interaction"]
+    ffw = MODEL_REGISTRY["foraging_for_work"]
+    # Network task allocation: location + nestmates + task needs (+stimulus).
+    assert FACTORS.LOCATION in ni.factors
+    assert FACTORS.NESTMATES in ni.factors
+    # Foraging for work: location + ontogeny (temporal polyethism).
+    assert FACTORS.LOCATION in ffw.factors
+    assert FACTORS.ONTOGENY in ffw.factors
+
+
+def test_response_threshold_uses_innate_genes():
+    cls = MODEL_REGISTRY["response_threshold"]
+    assert FACTORS.GENES in cls.factors
+    assert FACTORS.INNATE_THRESHOLD in cls.factors
+
+
+def test_self_reinforcement_uses_experience():
+    assert FACTORS.EXPERIENCE in MODEL_REGISTRY["self_reinforcement"].factors
+
+
+def test_social_inhibition_uses_behavioural_state():
+    assert (
+        FACTORS.BEHAVIOURAL_STATE
+        in MODEL_REGISTRY["social_inhibition"].factors
+    )
+
+
+def test_baseline_model_is_inert():
+    model = create_model("none", (1, 2, 3))
+    assert model.factors == frozenset()
+    assert model.model_number is None
+
+
+def test_model_requires_task_ids():
+    with pytest.raises(ValueError):
+        IntelligenceModel(task_ids=())
+
+
+def test_configure_rejects_unknown_and_private():
+    model = create_model("ni", (1, 2))
+    with pytest.raises(KeyError):
+        model.configure(bogus=1)
+    with pytest.raises(KeyError):
+        model.configure(_private=1)

@@ -1,0 +1,80 @@
+"""Tests for decision pathways."""
+
+import pytest
+
+from repro.core.pathways import DecisionPathway
+
+
+def build_simple_pathway():
+    pathway = DecisionPathway("test")
+    pathway.add_comparator("t2", pattern=2)
+    pathway.add_threshold("t2", threshold=2)
+    pathway.wire("t2", "t2")
+    return pathway
+
+
+def test_present_demultiplexes_to_thresholds():
+    pathway = build_simple_pathway()
+    for value in (2, 2, 3, 2):
+        pathway.present(value)
+    assert pathway.thresholds["t2"].fires == 1
+
+
+def test_knob_binding_fires_action():
+    pathway = build_simple_pathway()
+    actions = []
+    pathway.bind_knob("t2", actions.append)
+    for _ in range(3):
+        pathway.present(2)
+    assert len(actions) == 1
+
+
+def test_inhibitory_wiring():
+    pathway = DecisionPathway("test")
+    pathway.add_comparator("go", pattern="go")
+    pathway.add_comparator("stop", pattern="stop")
+    pathway.add_threshold("decision", threshold=1)
+    pathway.wire("go", "decision")
+    pathway.wire("stop", "decision", inhibitory=True)
+    pathway.present("go")
+    pathway.present("stop")
+    pathway.present("go")
+    assert pathway.thresholds["decision"].fires == 0
+    pathway.present("go")
+    assert pathway.thresholds["decision"].fires == 1
+
+
+def test_reset_all():
+    pathway = build_simple_pathway()
+    pathway.present(2)
+    pathway.reset_all()
+    assert pathway.thresholds["t2"].value == 0
+
+
+def test_duplicate_keys_rejected():
+    pathway = build_simple_pathway()
+    with pytest.raises(KeyError):
+        pathway.add_comparator("t2", pattern=9)
+    with pytest.raises(KeyError):
+        pathway.add_threshold("t2", threshold=1)
+
+
+def test_describe_mentions_elements():
+    pathway = build_simple_pathway()
+    description = pathway.describe()
+    assert "comparator" in description
+    assert "threshold" in description
+
+
+def test_multiple_comparators_independent():
+    pathway = DecisionPathway("multi")
+    for task in (1, 2, 3):
+        key = "t{}".format(task)
+        pathway.add_comparator(key, pattern=task)
+        pathway.add_threshold(key, threshold=1)
+        pathway.wire(key, key)
+    pathway.present(2)
+    pathway.present(2)
+    assert pathway.thresholds["t2"].fires == 1
+    assert pathway.thresholds["t1"].fires == 0
+    assert pathway.thresholds["t3"].fires == 0

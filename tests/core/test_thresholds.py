@@ -1,0 +1,117 @@
+"""Tests for threshold decision units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import SaturatingCounter
+from repro.core.thresholds import ThresholdUnit
+
+
+def test_fires_when_counter_exceeds_threshold():
+    unit = ThresholdUnit(threshold=3)
+    fired = []
+    unit.output.connect(fired.append)
+    for _ in range(3):
+        unit.excite()
+    assert fired == []  # equal is not enough
+    unit.excite()
+    assert len(fired) == 1
+
+
+def test_reset_on_fire_clears_counter():
+    unit = ThresholdUnit(threshold=2, reset_on_fire=True)
+    for _ in range(3):
+        unit.excite()
+    assert unit.value == 0
+    assert unit.fires == 1
+
+
+def test_no_reset_keeps_counting():
+    unit = ThresholdUnit(threshold=2, reset_on_fire=False)
+    for _ in range(5):
+        unit.excite()
+    # Fires every excitation above the threshold.
+    assert unit.fires == 3
+    assert unit.value == 5
+
+
+def test_inhibit_never_fires():
+    unit = ThresholdUnit(
+        threshold=1, counter=SaturatingCounter(initial=10)
+    )
+    fired = []
+    unit.output.connect(fired.append)
+    unit.inhibit()
+    assert fired == []
+
+
+def test_inhibition_delays_firing():
+    unit = ThresholdUnit(threshold=2)
+    fired = []
+    unit.output.connect(fired.append)
+    unit.excite()
+    unit.excite()
+    unit.inhibit(amount=2)
+    unit.excite()
+    unit.excite()
+    assert len(fired) == 0
+    unit.excite()
+    assert len(fired) == 1
+
+
+def test_refractory_swallows_rapid_fires():
+    unit = ThresholdUnit(threshold=1, reset_on_fire=False, refractory=3)
+    for _ in range(6):
+        unit.excite()
+    # Crossings at excitation 2..6 but refractory only allows every 3rd.
+    assert unit.fires == 2
+
+
+def test_set_threshold_at_runtime():
+    unit = ThresholdUnit(threshold=100)
+    unit.excite(amount=50)
+    unit.set_threshold(10)
+    unit.excite()
+    assert unit.fires == 1
+
+
+def test_adapt_clamps():
+    unit = ThresholdUnit(threshold=5)
+    unit.adapt(-100, minimum=2)
+    assert unit.threshold == 2
+    unit.adapt(+10_000, maximum=50)
+    assert unit.threshold == 50
+
+
+def test_headroom():
+    unit = ThresholdUnit(threshold=5)
+    unit.excite(amount=3)
+    assert unit.headroom == 2
+    unit.excite(amount=10)  # fires, resets
+    assert unit.headroom == 5
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        ThresholdUnit(threshold=-1)
+
+
+def test_payload_travels_through_output():
+    unit = ThresholdUnit(threshold=0)
+    seen = []
+    unit.output.connect(seen.append)
+    unit.excite(payload="stimulus")
+    assert seen == ["stimulus"]
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_fires_never_exceed_excitations(pattern):
+    unit = ThresholdUnit(threshold=2, reset_on_fire=True)
+    excitations = 0
+    for is_excite in pattern:
+        if is_excite:
+            unit.excite()
+            excitations += 1
+        else:
+            unit.inhibit()
+    assert unit.fires <= excitations // 3  # needs 3 net excitations per fire

@@ -1,0 +1,43 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from benchmarks.harness import (
+    MODELS,
+    TABLE2_FAULTS,
+    gather_zero_fault,
+    runs_per_cell,
+    seed_base,
+)
+from repro.platform.config import PlatformConfig
+
+
+def test_models_match_paper_order():
+    assert MODELS == ("none", "network_interaction", "foraging_for_work")
+
+
+def test_table2_fault_counts_match_paper():
+    assert TABLE2_FAULTS == (0, 2, 4, 8, 16, 32)
+
+
+def test_runs_per_cell_env(monkeypatch):
+    monkeypatch.delenv("REPRO_RUNS", raising=False)
+    assert runs_per_cell() == 15
+    monkeypatch.setenv("REPRO_RUNS", "100")
+    assert runs_per_cell() == 100
+
+
+def test_seed_base_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SEED_BASE", raising=False)
+    assert seed_base() == 1000
+    monkeypatch.setenv("REPRO_SEED_BASE", "7")
+    assert seed_base() == 7
+
+
+def test_gather_zero_fault_small(monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS", "2")
+    results = gather_zero_fault(PlatformConfig.small())
+    assert set(results) == set(MODELS)
+    for model, runs in results.items():
+        assert len(runs) == 2
+        assert all(r.faults == 0 for r in runs)

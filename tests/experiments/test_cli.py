@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_small(capsys, tmp_path):
+    out_file = tmp_path / "run.json"
+    code = main([
+        "run", "--model", "none", "--seed", "3", "--small",
+        "--json", str(out_file),
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "settled_performance" in captured
+    payload = json.loads(out_file.read_text())
+    assert payload["row"]["model"] == "none"
+    assert "active_nodes" in payload["series"]
+
+
+def test_run_with_faults_small(capsys):
+    code = main(["run", "--model", "ffw", "--seed", "3", "--small",
+                 "--faults", "2"])
+    assert code == 0
+    assert "recovery_time_ms" in capsys.readouterr().out
+
+
+def test_parser_table2_fault_list():
+    args = build_parser().parse_args(["table2", "--faults", "0,8"])
+    assert args.faults == "0,8"
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["table1"])
+    assert args.runs == 15
+    args = build_parser().parse_args(["figure4"])
+    assert args.seed == 42

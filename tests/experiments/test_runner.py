@@ -1,0 +1,69 @@
+"""Tests for the run harness (on the small fast config)."""
+
+import pytest
+
+from repro.experiments.runner import default_seeds, run_batch, run_single
+from repro.platform.config import PlatformConfig
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return PlatformConfig.small()
+
+
+def test_run_single_populates_fields(small_config):
+    result = run_single("none", seed=5, config=small_config)
+    assert result.model == "none"
+    assert result.seed == 5
+    assert result.faults == 0
+    assert result.settling_time_ms > 0
+    assert result.settled_performance >= 0
+    assert result.recovery_time_ms == 0.0
+    assert result.recovered_performance == result.settled_performance
+    assert result.series is not None
+    assert result.app_stats["generated"] > 0
+
+
+def test_run_single_with_faults_measures_recovery(small_config):
+    result = run_single("none", seed=5, faults=4, config=small_config)
+    assert result.faults == 4
+    # Zero means the metric was already inside the post-fault steady band
+    # at injection time (the paper's Q1 = 3 ms rows are the same effect).
+    assert result.recovery_time_ms >= 0
+    assert result.noc_stats["sent"] > 0
+
+
+def test_run_single_deterministic(small_config):
+    a = run_single("ffw", seed=9, config=small_config, keep_series=False)
+    b = run_single("ffw", seed=9, config=small_config, keep_series=False)
+    assert a.settled_performance == b.settled_performance
+    assert a.app_stats == b.app_stats
+
+
+def test_keep_series_false_drops_series(small_config):
+    result = run_single("none", seed=5, config=small_config,
+                        keep_series=False)
+    assert result.series is None
+
+
+def test_run_batch_sequential(small_config):
+    results = run_batch("none", seeds=[1, 2], config=small_config)
+    assert [r.seed for r in results] == [1, 2]
+    assert len({r.settled_performance for r in results}) >= 1
+
+
+def test_run_batch_resolves_alias(small_config):
+    (result,) = run_batch("ffw", seeds=[1], config=small_config)
+    assert result.model == "foraging_for_work"
+
+
+def test_as_row_export(small_config):
+    result = run_single("none", seed=5, config=small_config)
+    row = result.as_row()
+    assert row["model"] == "none"
+    assert "settled_performance" in row
+
+
+def test_default_seeds():
+    assert default_seeds(3) == [1000, 1001, 1002]
+    assert default_seeds(2, base=5) == [5, 6]

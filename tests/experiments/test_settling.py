@@ -1,0 +1,98 @@
+"""Tests for settling/recovery detection."""
+
+import pytest
+
+from repro.experiments.settling import moving_average, steady_state_time
+
+
+def make_series(values, window_ms=10.0):
+    times = [window_ms * (i + 1) for i in range(len(values))]
+    return times, values
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        assert moving_average([1, 5, 2], window=1) == [1, 5, 2]
+
+    def test_smooths_spikes(self):
+        smoothed = moving_average([0, 0, 9, 0, 0], window=3)
+        assert smoothed[2] == 3.0
+
+    def test_edges_shrink(self):
+        smoothed = moving_average([6, 0, 0, 0, 6], window=3)
+        assert smoothed[0] == 3.0  # average of first two only
+        assert smoothed[-1] == 3.0
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average([1, 2], window=2)
+
+
+class TestSteadyStateTime:
+    def test_step_response_settles_at_step(self):
+        values = [0] * 10 + [20] * 30
+        times, values = make_series(values)
+        settle, level = steady_state_time(times, values, smooth_window=1)
+        # Settles at the step (sample 11 -> t=110ms).
+        assert settle == 110.0
+        assert level == 20.0
+
+    def test_flat_series_settles_immediately(self):
+        times, values = make_series([10] * 20)
+        settle, level = steady_state_time(times, values, smooth_window=1)
+        assert settle == 10.0
+        assert level == 10.0
+
+    def test_ramp_settles_when_inside_band(self):
+        values = list(range(0, 40, 2)) + [40] * 20
+        times, values = make_series(values)
+        settle, level = steady_state_time(
+            times, values, band_frac=0.1, band_floor=0.0, smooth_window=1
+        )
+        assert level == pytest.approx(40.0, rel=0.02)
+        # Band is +-4 around 40: first value inside is 36 at sample 19.
+        assert settle <= 200.0
+
+    def test_never_settling_returns_interval(self):
+        # Oscillates wildly forever.
+        values = [0 if i % 2 else 100 for i in range(40)]
+        times, values = make_series(values)
+        settle, _level = steady_state_time(
+            times, values, band_floor=1.0, smooth_window=1
+        )
+        assert settle == times[-1] - times[0]
+
+    def test_start_offset_measures_relative_time(self):
+        values = [5] * 50 + [0] * 5 + [5] * 45
+        times, values = make_series(values)
+        settle, level = steady_state_time(
+            times, values, start_ms=500.0, smooth_window=1
+        )
+        # Dip at 510-550, settled back by 560 => 60ms after start.
+        assert settle == 60.0
+        assert level == 5.0
+
+    def test_end_bound_excludes_later_samples(self):
+        values = [5] * 30 + [500] * 20
+        times, values = make_series(values)
+        _settle, level = steady_state_time(
+            times, values, end_ms=300.0, smooth_window=1
+        )
+        assert level == 5.0
+
+    def test_band_floor_tolerates_integer_noise(self):
+        values = [10, 11, 9, 10, 11, 10, 9, 10] * 5
+        times, values = make_series(values)
+        settle, level = steady_state_time(
+            times, values, band_floor=2.0, smooth_window=1
+        )
+        assert settle == 10.0
+        assert 9 <= level <= 11
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_time([1, 2], [1])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_time([10.0], [5], start_ms=0)

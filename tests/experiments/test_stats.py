@@ -1,0 +1,90 @@
+"""Tests for quartile statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.stats import (
+    iqr,
+    mean,
+    median,
+    percentile,
+    quartiles,
+    summarize,
+)
+
+
+def test_median_odd():
+    assert median([3, 1, 2]) == 2
+
+
+def test_median_even_interpolates():
+    assert median([1, 2, 3, 4]) == 2.5
+
+
+def test_quartiles_known_values():
+    q1, q2, q3 = quartiles(list(range(1, 12)))  # 1..11
+    assert (q1, q2, q3) == (3.5, 6.0, 8.5)
+
+
+def test_quartiles_single_value():
+    assert quartiles([7]) == (7.0, 7.0, 7.0)
+
+
+def test_percentile_endpoints():
+    values = [5, 1, 9]
+    assert percentile(values, 0.0) == 1
+    assert percentile(values, 1.0) == 9
+
+
+def test_percentile_matches_numpy_linear():
+    numpy = pytest.importorskip("numpy")
+    values = [2.0, 9.0, 4.0, 7.0, 1.0, 8.0, 3.0]
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+        assert percentile(values, q) == pytest.approx(
+            float(numpy.percentile(values, q * 100))
+        )
+
+
+def test_percentile_invalid_inputs():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_summarize():
+    summary = summarize([4, 1, 3, 2])
+    assert summary["n"] == 4
+    assert summary["min"] == 1
+    assert summary["max"] == 4
+    assert summary["mean"] == 2.5
+    assert summary["q2"] == 2.5
+
+
+def test_iqr():
+    assert iqr(list(range(1, 12))) == 5.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=100))
+def test_quartiles_ordered_and_bounded(values):
+    q1, q2, q3 = quartiles(values)
+    assert min(values) <= q1 <= q2 <= q3 <= max(values)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+             max_size=50),
+    st.floats(min_value=0, max_value=1),
+)
+def test_percentile_monotone_in_fraction(values, fraction):
+    low = percentile(values, max(0.0, fraction - 0.1))
+    high = percentile(values, min(1.0, fraction + 0.1))
+    # Tolerance absorbs float interpolation noise on (near-)equal values.
+    assert low <= high + 1e-6 * max(1.0, abs(high))

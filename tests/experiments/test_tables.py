@@ -1,0 +1,143 @@
+"""Tests for the Table I/II generators."""
+
+import pytest
+
+from repro.experiments.runner import RunResult
+from repro.experiments.tables import (
+    baseline_reference,
+    format_table,
+    table1,
+    table2,
+)
+
+
+def result(model, settled=10.0, settling=100.0, faults=0, recovered=None,
+           recovery=50.0, seed=0):
+    return RunResult(
+        model=model,
+        seed=seed,
+        faults=faults,
+        settling_time_ms=settling,
+        settled_performance=settled,
+        recovery_time_ms=recovery,
+        recovered_performance=recovered if recovered is not None else settled,
+        series=None,
+        app_stats={},
+        noc_stats={},
+        total_switches=0,
+    )
+
+
+@pytest.fixture
+def zero_fault_results():
+    return {
+        "none": [result("none", settled=s) for s in (9.0, 10.0, 11.0)],
+        "network_interaction": [
+            result("network_interaction", settled=s)
+            for s in (10.0, 10.2, 10.9)
+        ],
+        "foraging_for_work": [
+            result("foraging_for_work", settled=s)
+            for s in (11.5, 12.9, 14.1)
+        ],
+    }
+
+
+def test_baseline_reference_is_median(zero_fault_results):
+    assert baseline_reference(zero_fault_results) == 10.0
+
+
+def test_baseline_reference_requires_baseline():
+    with pytest.raises(ValueError):
+        baseline_reference({"foraging_for_work": [result("ffw")]})
+
+
+class TestTable1:
+    def test_rows_in_paper_order(self, zero_fault_results):
+        rows = table1(zero_fault_results)
+        assert [r["model"] for r in rows] == [
+            "none", "network_interaction", "foraging_for_work",
+        ]
+
+    def test_baseline_median_is_100_percent(self, zero_fault_results):
+        rows = table1(zero_fault_results)
+        assert rows[0]["perf_q2"] == pytest.approx(100.0)
+
+    def test_ffw_relative_performance(self, zero_fault_results):
+        rows = table1(zero_fault_results)
+        ffw = rows[2]
+        assert ffw["perf_q2"] == pytest.approx(129.0)
+
+    def test_settling_quartiles(self, zero_fault_results):
+        zero_fault_results["none"] = [
+            result("none", settling=t) for t in (10, 20, 90)
+        ]
+        rows = table1(zero_fault_results)
+        assert rows[0]["settling_q2"] == 20
+
+    def test_missing_model_skipped(self, zero_fault_results):
+        del zero_fault_results["network_interaction"]
+        rows = table1(zero_fault_results)
+        assert len(rows) == 2
+
+    def test_format_renders_all_rows(self, zero_fault_results):
+        text = format_table(table1(zero_fault_results), "table1")
+        assert "No Intelligence" in text
+        assert "Foraging For Work" in text
+        assert "100" in text
+
+
+class TestTable2:
+    @pytest.fixture
+    def fault_results(self):
+        data = {}
+        for model, base in (("none", 10.0), ("foraging_for_work", 13.0)):
+            for faults, retention in ((0, 1.0), (8, 0.9), (32, 0.6)):
+                data[(model, faults)] = [
+                    result(
+                        model,
+                        settled=base,
+                        faults=faults,
+                        recovered=base * retention + d,
+                        recovery=30.0 + faults,
+                    )
+                    for d in (-0.5, 0.0, 0.5)
+                ]
+        return data
+
+    def test_rows_grouped_by_model_then_faults(self, fault_results):
+        rows = table2(fault_results)
+        assert [(r["model"], r["faults"]) for r in rows] == [
+            ("none", 0), ("none", 8), ("none", 32),
+            ("foraging_for_work", 0),
+            ("foraging_for_work", 8),
+            ("foraging_for_work", 32),
+        ]
+
+    def test_zero_fault_rows_have_no_recovery_time(self, fault_results):
+        rows = table2(fault_results)
+        assert rows[0]["recovery_q1"] is None
+
+    def test_normalisation_to_baseline_zero_fault(self, fault_results):
+        rows = table2(fault_results)
+        by_key = {(r["model"], r["faults"]): r for r in rows}
+        assert by_key[("none", 0)]["perf_q2"] == pytest.approx(100.0)
+        assert by_key[("foraging_for_work", 0)]["perf_q2"] == pytest.approx(
+            130.0
+        )
+        assert by_key[("none", 32)]["perf_q2"] == pytest.approx(60.0)
+
+    def test_recovery_quartiles_present_for_faults(self, fault_results):
+        rows = table2(fault_results)
+        by_key = {(r["model"], r["faults"]): r for r in rows}
+        assert by_key[("none", 8)]["recovery_q2"] == 38.0
+
+    def test_format_renders(self, fault_results):
+        text = format_table(table2(fault_results), "table2")
+        assert "Faults" in text
+        assert text.count("No Intelligence") == 3
+
+
+def test_format_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        format_table([], "table9")

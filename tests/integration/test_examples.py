@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run to completion.
+
+The two full-Centurion examples (fault_tolerance, task_allocation) take
+several seconds each and are exercised by the figure/table benches, so
+only the fast examples run here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Initial task census" in out
+    assert "Node 5 monitors" in out
+    assert "Controller debug read" in out
+
+
+def test_model_taxonomy(capsys):
+    out = run_example("model_taxonomy.py", capsys)
+    assert "Figure 1 factor taxonomy" in out
+    assert "foraging_for_work" in out
+    assert "network_interaction" in out
+    # All nine factors printed.
+    for factor in ("location", "nestmates", "ontogeny", "experience"):
+        assert factor in out
+
+
+def test_custom_intelligence(capsys):
+    out = run_example("custom_intelligence.py", capsys)
+    assert "thermal_foraging" in out
+    assert "joins completed" in out
+
+
+@pytest.mark.slow
+def test_task_allocation(capsys):
+    out = run_example("task_allocation.py", capsys)
+    assert "Settling from the same random" in out
+
+
+@pytest.mark.slow
+def test_fault_tolerance(capsys):
+    out = run_example("fault_tolerance.py", capsys)
+    assert "retained" in out

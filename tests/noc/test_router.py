@@ -1,0 +1,107 @@
+"""Tests for the five-port router."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.noc.router import Router, RouterConfig
+from repro.noc.topology import DIRECTIONS, INTERNAL
+
+
+def test_router_has_five_ports():
+    router = Router(0)
+    assert set(router.ports) == set(DIRECTIONS) | {INTERNAL}
+
+
+def test_forwarded_packet_counts_task_and_queue():
+    router = Router(0)
+    router.notify_routed(Packet(0, dest_task=2), to_internal=False)
+    router.notify_routed(Packet(0, dest_task=2), to_internal=False)
+    router.notify_routed(Packet(0, dest_task=3), to_internal=False)
+    assert router.task_route_counts == {2: 2, 3: 1}
+    assert router.packets_forwarded == 3
+    assert router.recent_tasks == [2, 2, 3]
+
+
+def test_internal_routing_counts_sink_not_queue():
+    router = Router(0)
+    router.notify_routed(Packet(0, dest_task=2), to_internal=True)
+    assert router.packets_sunk == 1
+    assert router.recent_tasks == []
+    assert router.task_route_counts == {2: 1}
+
+
+def test_recent_queue_bounded_by_config():
+    router = Router(0, RouterConfig(recent_queue_depth=3))
+    for task in (1, 2, 3, 1, 2):
+        router.notify_routed(Packet(0, dest_task=task), to_internal=False)
+    assert router.recent_tasks == [3, 1, 2]
+
+
+def test_observers_receive_routing_events(recording_observer):
+    router = Router(7)
+    router.add_observer(recording_observer)
+    router.notify_routed(Packet(0, dest_task=2), to_internal=False)
+    router.notify_routed(Packet(0, dest_task=3), to_internal=True)
+    assert recording_observer.routed == [(7, 2, False), (7, 3, True)]
+
+
+def test_removed_observer_stops_receiving(recording_observer):
+    router = Router(7)
+    router.add_observer(recording_observer)
+    router.remove_observer(recording_observer)
+    router.notify_routed(Packet(0, dest_task=2), to_internal=False)
+    assert recording_observer.routed == []
+
+
+def test_failed_router_ignores_events(recording_observer):
+    router = Router(0)
+    router.add_observer(recording_observer)
+    router.fail()
+    router.notify_routed(Packet(0, dest_task=2), to_internal=False)
+    assert router.packets_forwarded == 0
+    assert recording_observer.routed == []
+    assert all(not port.enabled for port in router.ports.values())
+
+
+def test_record_port_statistics():
+    router = Router(0)
+    router.record_port("N", incoming=True)
+    router.record_port("E", incoming=False)
+    assert router.ports["N"].packets_in == 1
+    assert router.ports["E"].packets_out == 1
+
+
+class TestRcap:
+    def test_write_and_read(self):
+        router = Router(0)
+        router.rcap_write({"routing_mode": "xy", "router_latency": 5})
+        settings = router.rcap_read()
+        assert settings["routing_mode"] == "xy"
+        assert settings["router_latency"] == 5
+
+    def test_unknown_setting_rejected(self):
+        router = Router(0)
+        with pytest.raises(KeyError):
+            router.rcap_write({"no_such_setting": 1})
+
+    def test_write_to_failed_router_rejected(self):
+        router = Router(0)
+        router.fail()
+        with pytest.raises(RuntimeError):
+            router.rcap_write({"router_latency": 5})
+
+
+class TestRouterConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(routing_mode="magic")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(router_latency=-1)
+
+    def test_copy_is_independent(self):
+        config = RouterConfig(router_latency=4)
+        clone = config.copy()
+        clone.router_latency = 9
+        assert config.router_latency == 4

@@ -1,0 +1,189 @@
+"""Tests for routing policies and the provider directory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.routing import (
+    ProviderDirectory,
+    RoutingPolicy,
+    UnroutableError,
+    XYRouting,
+)
+from repro.noc.topology import EAST, NORTH, SOUTH, WEST, MeshTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(8, 8)
+
+
+@pytest.fixture
+def directory(mesh):
+    return ProviderDirectory(mesh)
+
+
+class TestProviderDirectory:
+    def test_set_task_registers_provider(self, directory):
+        directory.set_task(5, 2)
+        assert directory.providers(2) == [5]
+        assert directory.task_of(5) == 2
+
+    def test_reassignment_moves_provider(self, directory):
+        directory.set_task(5, 2)
+        directory.set_task(5, 3)
+        assert directory.providers(2) == []
+        assert directory.providers(3) == [5]
+
+    def test_set_same_task_is_noop_for_version(self, directory):
+        directory.set_task(5, 2)
+        version = directory.version
+        directory.set_task(5, 2)
+        assert directory.version == version
+
+    def test_mark_failed_removes_from_providers(self, directory):
+        directory.set_task(5, 2)
+        directory.mark_failed(5)
+        assert directory.providers(2) == []
+        assert directory.is_failed(5)
+        assert directory.task_of(5) is None
+
+    def test_census(self, directory):
+        for node, task in ((0, 1), (1, 2), (2, 2), (3, 3)):
+            directory.set_task(node, task)
+        assert directory.task_census() == {1: 1, 2: 2, 3: 1}
+
+    def test_nearest_provider_minimises_manhattan(self, directory, mesh):
+        directory.set_task(mesh.node_id(0, 0), 2)
+        directory.set_task(mesh.node_id(4, 4), 2)
+        origin = mesh.node_id(5, 5)
+        assert directory.nearest_provider(origin, 2) == mesh.node_id(4, 4)
+
+    def test_nearest_provider_tie_breaks_lowest_id(self, directory, mesh):
+        left = mesh.node_id(2, 4)
+        right = mesh.node_id(6, 4)
+        directory.set_task(left, 2)
+        directory.set_task(right, 2)
+        origin = mesh.node_id(4, 4)
+        assert directory.nearest_provider(origin, 2) == min(left, right)
+
+    def test_nearest_provider_honours_exclude(self, directory, mesh):
+        near = mesh.node_id(4, 4)
+        far = mesh.node_id(0, 0)
+        directory.set_task(near, 2)
+        directory.set_task(far, 2)
+        origin = mesh.node_id(5, 5)
+        assert directory.nearest_provider(origin, 2, exclude={near}) == far
+
+    def test_nearest_provider_none_when_absent(self, directory):
+        assert directory.nearest_provider(0, 9) is None
+
+    def test_ranked_cache_invalidated_by_updates(self, directory, mesh):
+        directory.set_task(mesh.node_id(0, 0), 2)
+        origin = mesh.node_id(5, 5)
+        assert directory.nearest_provider(origin, 2) == mesh.node_id(0, 0)
+        # A nearer provider appears; the cached ranking must refresh.
+        directory.set_task(mesh.node_id(5, 4), 2)
+        assert directory.nearest_provider(origin, 2) == mesh.node_id(5, 4)
+
+    def test_ranked_cache_invalidated_by_failure(self, directory, mesh):
+        near = mesh.node_id(5, 4)
+        far = mesh.node_id(0, 0)
+        directory.set_task(near, 2)
+        directory.set_task(far, 2)
+        origin = mesh.node_id(5, 5)
+        assert directory.nearest_provider(origin, 2) == near
+        directory.mark_failed(near)
+        assert directory.nearest_provider(origin, 2) == far
+
+
+class TestXYRouting:
+    def test_x_resolved_first(self, mesh):
+        xy = XYRouting(mesh)
+        src = mesh.node_id(1, 1)
+        dst = mesh.node_id(4, 5)
+        assert xy.next_direction(src, dst) == EAST
+
+    def test_then_y(self, mesh):
+        xy = XYRouting(mesh)
+        src = mesh.node_id(4, 1)
+        dst = mesh.node_id(4, 5)
+        assert xy.next_direction(src, dst) == SOUTH
+
+    def test_north_and_west(self, mesh):
+        xy = XYRouting(mesh)
+        assert xy.next_direction(mesh.node_id(4, 4), mesh.node_id(2, 4)) == WEST
+        assert xy.next_direction(mesh.node_id(4, 4), mesh.node_id(4, 2)) == NORTH
+
+    def test_arrival_returns_none(self, mesh):
+        xy = XYRouting(mesh)
+        assert xy.next_direction(9, 9) is None
+
+
+class TestRoutingPolicy:
+    def test_healthy_mesh_uses_xy(self, mesh):
+        policy = RoutingPolicy(mesh)
+        src = mesh.node_id(0, 0)
+        dst = mesh.node_id(3, 3)
+        path = policy.path(src, dst)
+        assert len(path) == mesh.manhattan(src, dst) + 1
+        # XY: all east moves before south moves.
+        xs = [mesh.coords(n)[0] for n in path]
+        assert xs == sorted(xs)
+
+    def test_detour_around_failed_router(self, mesh):
+        policy = RoutingPolicy(mesh)
+        src = mesh.node_id(0, 0)
+        dst = mesh.node_id(4, 0)
+        blocker = mesh.node_id(2, 0)
+        policy.set_failed({blocker})
+        path = policy.path(src, dst)
+        assert blocker not in path
+        assert path[0] == src and path[-1] == dst
+
+    def test_failed_destination_unroutable(self, mesh):
+        policy = RoutingPolicy(mesh)
+        dead = mesh.node_id(3, 3)
+        policy.set_failed({dead})
+        with pytest.raises(UnroutableError):
+            policy.next_direction(mesh.node_id(0, 0), dead)
+
+    def test_disconnected_region_unroutable(self):
+        mesh = MeshTopology(3, 1)  # a line: 0 - 1 - 2
+        policy = RoutingPolicy(mesh)
+        policy.set_failed({1})
+        with pytest.raises(UnroutableError):
+            policy.next_direction(0, 2)
+
+    def test_clearing_faults_restores_xy(self, mesh):
+        policy = RoutingPolicy(mesh)
+        blocker = mesh.node_id(2, 0)
+        policy.set_failed({blocker})
+        policy.set_failed(set())
+        path = policy.path(mesh.node_id(0, 0), mesh.node_id(4, 0))
+        assert blocker in path  # straight line again
+
+    def test_arrived_returns_none(self, mesh):
+        policy = RoutingPolicy(mesh)
+        assert policy.next_direction(5, 5) is None
+
+
+@settings(max_examples=30)
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    faults=st.sets(st.integers(min_value=0, max_value=63), max_size=6),
+)
+def test_policy_paths_avoid_failed_nodes(src, dst, faults):
+    """Whenever a path exists it must not cross failed routers."""
+    mesh = MeshTopology(8, 8)
+    faults = faults - {src, dst}
+    policy = RoutingPolicy(mesh)
+    policy.set_failed(faults)
+    try:
+        path = policy.path(src, dst)
+    except UnroutableError:
+        return  # disconnected is an acceptable outcome
+    assert not (set(path) & faults)
+    assert path[0] == src
+    assert path[-1] == dst
+    assert len(path) >= mesh.manhattan(src, dst) + 1

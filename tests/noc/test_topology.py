@@ -1,0 +1,120 @@
+"""Tests for the mesh topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import (
+    DIRECTIONS,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    MeshTopology,
+    opposite,
+)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(width=16, height=8)
+
+
+class TestBasics:
+    def test_centurion_dimensions(self, mesh):
+        assert mesh.num_nodes == 128
+
+    def test_node_id_roundtrip(self, mesh):
+        for node in mesh.node_ids():
+            x, y = mesh.coords(node)
+            assert mesh.node_id(x, y) == node
+
+    def test_row_major_layout(self, mesh):
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(15) == (15, 0)
+        assert mesh.coords(16) == (0, 1)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MeshTopology(width=0, height=4)
+
+    def test_out_of_range_id_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.coords(128)
+        with pytest.raises(ValueError):
+            mesh.coords(-1)
+
+    def test_out_of_range_coords_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.node_id(16, 0)
+
+
+class TestNeighbours:
+    def test_interior_node_has_four_neighbours(self, mesh):
+        node = mesh.node_id(5, 4)
+        neighbors = mesh.neighbors(node)
+        assert set(neighbors) == set(DIRECTIONS)
+
+    def test_corner_has_two_neighbours(self, mesh):
+        assert len(mesh.neighbors(mesh.node_id(0, 0))) == 2
+
+    def test_north_decreases_y(self, mesh):
+        node = mesh.node_id(5, 4)
+        assert mesh.coords(mesh.neighbor(node, NORTH)) == (5, 3)
+
+    def test_edges_return_none(self, mesh):
+        assert mesh.neighbor(mesh.node_id(0, 0), NORTH) is None
+        assert mesh.neighbor(mesh.node_id(0, 0), WEST) is None
+        assert mesh.neighbor(mesh.node_id(15, 7), SOUTH) is None
+        assert mesh.neighbor(mesh.node_id(15, 7), EAST) is None
+
+    def test_direction_to_adjacent(self, mesh):
+        node = mesh.node_id(5, 4)
+        east = mesh.neighbor(node, EAST)
+        assert mesh.direction_to(node, east) == EAST
+
+    def test_direction_to_non_adjacent_raises(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.direction_to(0, 5)
+
+    def test_opposite_directions(self):
+        assert opposite(NORTH) == SOUTH
+        assert opposite(EAST) == WEST
+        assert opposite(opposite(EAST)) == EAST
+
+
+class TestMetrics:
+    def test_manhattan_examples(self, mesh):
+        assert mesh.manhattan(0, 0) == 0
+        assert mesh.manhattan(mesh.node_id(0, 0), mesh.node_id(15, 7)) == 22
+
+    def test_top_row(self, mesh):
+        row = mesh.top_row()
+        assert len(row) == 16
+        assert all(mesh.coords(n)[1] == 0 for n in row)
+
+
+node_pairs = st.tuples(
+    st.integers(min_value=0, max_value=127),
+    st.integers(min_value=0, max_value=127),
+)
+
+
+@given(node_pairs)
+def test_manhattan_symmetry(pair):
+    mesh = MeshTopology(16, 8)
+    a, b = pair
+    assert mesh.manhattan(a, b) == mesh.manhattan(b, a)
+
+
+@given(node_pairs, st.integers(min_value=0, max_value=127))
+def test_manhattan_triangle_inequality(pair, c):
+    mesh = MeshTopology(16, 8)
+    a, b = pair
+    assert mesh.manhattan(a, b) <= mesh.manhattan(a, c) + mesh.manhattan(c, b)
+
+
+@given(st.integers(min_value=0, max_value=127))
+def test_neighbors_are_mutual(node):
+    mesh = MeshTopology(16, 8)
+    for direction, other in mesh.neighbors(node).items():
+        assert mesh.neighbor(other, opposite(direction)) == node

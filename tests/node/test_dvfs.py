@@ -1,0 +1,64 @@
+"""Tests for frequency scaling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.node.dvfs import (
+    MAX_FREQUENCY_MHZ,
+    MIN_FREQUENCY_MHZ,
+    FrequencyScaler,
+)
+
+
+def test_defaults_to_nominal():
+    scaler = FrequencyScaler(nominal_mhz=100)
+    assert scaler.current_mhz == 100
+    assert scaler.slowdown == 1.0
+
+
+def test_set_frequency_clamps_low():
+    scaler = FrequencyScaler()
+    assert scaler.set_frequency(1) == MIN_FREQUENCY_MHZ
+
+
+def test_set_frequency_clamps_high():
+    scaler = FrequencyScaler()
+    assert scaler.set_frequency(1000) == MAX_FREQUENCY_MHZ
+
+
+def test_half_frequency_doubles_duration():
+    scaler = FrequencyScaler(nominal_mhz=100)
+    scaler.set_frequency(50)
+    assert scaler.scale_duration(1000) == 2000
+
+
+def test_triple_frequency_shortens_duration():
+    scaler = FrequencyScaler(nominal_mhz=100)
+    scaler.set_frequency(300)
+    assert scaler.scale_duration(900) == 300
+
+
+def test_duration_never_below_one():
+    scaler = FrequencyScaler(nominal_mhz=100)
+    scaler.set_frequency(300)
+    assert scaler.scale_duration(1) == 1
+
+
+def test_changes_counted_only_on_actual_change():
+    scaler = FrequencyScaler()
+    scaler.set_frequency(200)
+    scaler.set_frequency(200)
+    scaler.set_frequency(150)
+    assert scaler.changes == 2
+
+
+def test_invalid_nominal_rejected():
+    with pytest.raises(ValueError):
+        FrequencyScaler(nominal_mhz=5)
+
+
+@given(st.integers(min_value=-500, max_value=1500))
+def test_set_frequency_always_in_range(mhz):
+    scaler = FrequencyScaler()
+    applied = scaler.set_frequency(mhz)
+    assert MIN_FREQUENCY_MHZ <= applied <= MAX_FREQUENCY_MHZ

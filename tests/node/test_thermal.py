@@ -1,0 +1,51 @@
+"""Tests for the synthetic thermal model."""
+
+import pytest
+
+from repro.node.thermal import ThermalModel
+
+
+def test_idle_node_stays_at_ambient():
+    model = ThermalModel(ambient_c=35.0)
+    assert model.temperature(0) == 35.0
+    assert model.temperature(10**7) == 35.0
+
+
+def test_activity_raises_temperature():
+    model = ThermalModel(ambient_c=35.0, heat_per_busy_us=0.01)
+    model.record_busy(now=1000, busy_us=1000)
+    assert model.temperature(1000) > 35.0
+
+
+def test_heat_decays_toward_ambient():
+    model = ThermalModel(
+        ambient_c=35.0, heat_per_busy_us=0.01, time_constant_us=1000
+    )
+    model.record_busy(now=0, busy_us=1000)
+    hot = model.temperature(0)
+    cooler = model.temperature(5000)
+    assert 35.0 < cooler < hot
+    # After many time constants it is effectively ambient again.
+    assert model.temperature(100_000) == pytest.approx(35.0, abs=1e-3)
+
+
+def test_higher_frequency_ratio_heats_quadratically():
+    slow = ThermalModel(heat_per_busy_us=0.01)
+    fast = ThermalModel(heat_per_busy_us=0.01)
+    slow.record_busy(0, 1000, frequency_ratio=1.0)
+    fast.record_busy(0, 1000, frequency_ratio=2.0)
+    slow_rise = slow.temperature(0) - slow.ambient_c
+    fast_rise = fast.temperature(0) - fast.ambient_c
+    assert fast_rise == pytest.approx(4.0 * slow_rise)
+
+
+def test_sustained_activity_accumulates():
+    model = ThermalModel(heat_per_busy_us=0.001, time_constant_us=10**6)
+    for t in range(0, 10_000, 1000):
+        model.record_busy(t, 1000)
+    assert model.temperature(10_000) > model.ambient_c + 5
+
+
+def test_invalid_time_constant_rejected():
+    with pytest.raises(ValueError):
+        ThermalModel(time_constant_us=0)

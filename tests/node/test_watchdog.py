@@ -1,0 +1,42 @@
+"""Tests for the node watchdog."""
+
+import pytest
+
+from repro.node.watchdog import Watchdog
+
+
+def test_fresh_watchdog_not_expired():
+    dog = Watchdog(timeout_us=100)
+    assert not dog.expired(100)
+
+
+def test_expiry_after_silence():
+    dog = Watchdog(timeout_us=100)
+    assert dog.expired(101)
+
+
+def test_kick_defers_expiry():
+    dog = Watchdog(timeout_us=100)
+    dog.kick(now=90)
+    assert not dog.expired(150)
+    assert dog.expired(191)
+
+
+def test_kick_counting():
+    dog = Watchdog()
+    dog.kick(1)
+    dog.kick(2)
+    assert dog.kicks == 2
+    assert dog.last_kick == 2
+
+
+def test_check_and_count_increments_only_when_expired():
+    dog = Watchdog(timeout_us=100)
+    assert not dog.check_and_count(50)
+    assert dog.check_and_count(200)
+    assert dog.expirations == 1
+
+
+def test_invalid_timeout_rejected():
+    with pytest.raises(ValueError):
+        Watchdog(timeout_us=0)

@@ -1,0 +1,77 @@
+"""Tests for the platform configuration."""
+
+import pytest
+
+from repro.platform.config import PlatformConfig
+
+
+def test_centurion_defaults():
+    config = PlatformConfig()
+    assert config.width == 16
+    assert config.height == 8
+    assert config.num_nodes == 128
+    # Paper-stated parameters.
+    assert config.generation_period_us == 4_000
+    assert config.ffw_timeout_us == 20_000
+    assert config.fault_time_us == 500_000
+    assert config.horizon_us == 1_000_000
+
+
+def test_replace_creates_modified_copy():
+    config = PlatformConfig()
+    smaller = config.replace(width=4, height=4)
+    assert smaller.num_nodes == 16
+    assert config.num_nodes == 128
+
+
+def test_frozen():
+    config = PlatformConfig()
+    with pytest.raises(Exception):
+        config.width = 99
+
+
+def test_small_preset():
+    config = PlatformConfig.small()
+    assert config.num_nodes == 16
+    assert config.horizon_us == 200_000
+
+
+def test_small_preset_accepts_overrides():
+    config = PlatformConfig.small(horizon_us=50_000)
+    assert config.horizon_us == 50_000
+
+
+def test_invalid_mapping_rejected():
+    with pytest.raises(ValueError):
+        PlatformConfig(initial_mapping="alphabetical")
+
+
+def test_fault_beyond_horizon_rejected():
+    with pytest.raises(ValueError):
+        PlatformConfig(fault_time_us=2_000_000, horizon_us=1_000_000)
+
+
+def test_non_positive_timing_rejected():
+    with pytest.raises(ValueError):
+        PlatformConfig(generation_period_us=0)
+
+
+def test_tiny_grid_rejected():
+    with pytest.raises(ValueError):
+        PlatformConfig(width=1, height=1)
+
+
+def test_model_params_for_ni():
+    config = PlatformConfig(ni_threshold=30)
+    assert config.model_params("ni") == {"threshold": 30}
+    assert config.model_params("network_interaction") == {"threshold": 30}
+
+
+def test_model_params_for_ffw():
+    config = PlatformConfig()
+    params = config.model_params("ffw")
+    assert params["timeout_us"] == 20_000
+
+
+def test_model_params_for_baseline_empty():
+    assert PlatformConfig().model_params("none") == {}

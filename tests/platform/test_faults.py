@@ -1,0 +1,70 @@
+"""Tests for the fault injector."""
+
+import pytest
+
+from repro.platform.centurion import CenturionPlatform
+from repro.platform.config import PlatformConfig
+
+
+@pytest.fixture
+def platform():
+    return CenturionPlatform(PlatformConfig.small(), model_name="none",
+                             seed=21)
+
+
+def test_faults_land_at_scheduled_time(platform):
+    platform.faults.schedule(3, at_us=50_000)
+    platform.sim.run_until(49_999)
+    assert len(platform.faults.victims) == 0
+    platform.sim.run_until(50_000)
+    assert len(platform.faults.victims) == 3
+
+
+def test_victims_are_unique_and_halted(platform):
+    platform.faults.schedule(5, at_us=10_000)
+    platform.sim.run_until(20_000)
+    victims = platform.faults.victims
+    assert len(set(victims)) == 5
+    assert all(platform.pes[v].halted for v in victims)
+
+
+def test_victims_deterministic_per_seed():
+    def victims_for(seed):
+        p = CenturionPlatform(PlatformConfig.small(), model_name="none",
+                              seed=seed)
+        p.faults.schedule(4, at_us=10_000)
+        p.sim.run_until(20_000)
+        return p.faults.victims
+
+    assert victims_for(3) == victims_for(3)
+    assert victims_for(3) != victims_for(4)
+
+
+def test_explicit_victims_pinned(platform):
+    platform.faults.schedule(2, at_us=10_000, victims=[3, 7])
+    platform.sim.run_until(20_000)
+    assert platform.faults.victims == [3, 7]
+
+
+def test_zero_faults_is_noop(platform):
+    platform.faults.schedule(0, at_us=10_000)
+    platform.sim.run_until(20_000)
+    assert platform.faults.victims == []
+    assert platform.faults.scheduled == []
+
+
+def test_negative_count_rejected(platform):
+    with pytest.raises(ValueError):
+        platform.faults.schedule(-1, at_us=10_000)
+
+
+def test_count_capped_at_alive_nodes(platform):
+    platform.faults.schedule(999, at_us=10_000)
+    platform.sim.run_until(20_000)
+    assert len(platform.faults.victims) == 16
+
+
+def test_fault_event_traced(platform):
+    platform.faults.schedule(1, at_us=10_000)
+    platform.sim.run_until(20_000)
+    assert platform.trace.count("node_failed") == 1

@@ -1,0 +1,162 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(30, 10, lambda: order.append("c"))
+        queue.push(10, 10, lambda: order.append("a"))
+        queue.push(20, 10, lambda: order.append("b"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_breaks_ties_by_priority(self):
+        queue = EventQueue()
+        queue.push(10, 20, None)
+        high = queue.push(10, 0, None)
+        assert queue.pop() is high
+
+    def test_same_time_same_priority_is_fifo(self):
+        queue = EventQueue()
+        first = queue.push(10, 10, None)
+        second = queue.push(10, 10, None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(10, 10, None)
+        survivor = queue.push(20, 10, None)
+        event.cancel()
+        assert queue.pop() is survivor
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time_skips_tombstones(self):
+        queue = EventQueue()
+        dead = queue.push(5, 10, None)
+        queue.push(8, 10, None)
+        dead.cancel()
+        assert queue.peek_time() == 8
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_counts_entries_including_tombstones(self):
+        queue = EventQueue()
+        event = queue.push(1, 10, None)
+        queue.push(2, 10, None)
+        event.cancel()
+        assert len(queue) == 2
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_schedule_advances_clock_to_event_time(self, sim):
+        seen = []
+        sim.schedule(50, lambda: seen.append(sim.now))
+        sim.run_until(100)
+        assert seen == [50]
+
+    def test_clock_lands_on_horizon_when_queue_drains(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run_until(500)
+        assert sim.now == 500
+
+    def test_events_at_horizon_execute(self, sim):
+        seen = []
+        sim.schedule(100, lambda: seen.append("x"))
+        sim.run_until(100)
+        assert seen == ["x"]
+
+    def test_events_beyond_horizon_do_not_execute(self, sim):
+        seen = []
+        sim.schedule(101, lambda: seen.append("x"))
+        sim.run_until(100)
+        assert seen == []
+        # ... but remain queued for a later run.
+        sim.run_until(200)
+        assert seen == ["x"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run_until(10)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancel_prevents_execution(self, sim):
+        seen = []
+        event = sim.schedule(10, lambda: seen.append("x"))
+        event.cancel()
+        sim.run_until(100)
+        assert seen == []
+
+    def test_events_can_schedule_more_events(self, sim):
+        seen = []
+
+        def first():
+            sim.schedule(5, lambda: seen.append(sim.now))
+
+        sim.schedule(10, first)
+        sim.run_until(100)
+        assert seen == [15]
+
+    def test_priority_orders_same_tick_events(self, sim):
+        order = []
+        sim.schedule(10, lambda: order.append("normal"),
+                     priority=sim.PRIORITY_NORMAL)
+        sim.schedule(10, lambda: order.append("control"),
+                     priority=sim.PRIORITY_CONTROL)
+        sim.schedule(10, lambda: order.append("sample"),
+                     priority=sim.PRIORITY_SAMPLE)
+        sim.run_until(10)
+        assert order == ["control", "normal", "sample"]
+
+    def test_step_dispatches_single_event(self, sim):
+        seen = []
+        sim.schedule(5, lambda: seen.append("a"))
+        sim.schedule(6, lambda: seen.append("b"))
+        sim.step()
+        assert seen == ["a"]
+
+    def test_step_on_empty_queue_returns_none(self, sim):
+        assert sim.step() is None
+
+    def test_dispatched_events_counted(self, sim):
+        for delay in (1, 2, 3):
+            sim.schedule(delay, lambda: None)
+        sim.run_until(10)
+        assert sim.dispatched_events == 3
+
+    def test_run_until_is_not_reentrant(self, sim):
+        def nested():
+            sim.run_until(50)
+
+        sim.schedule(10, nested)
+        with pytest.raises(SimulationError):
+            sim.run_until(20)
+
+    def test_repeated_run_until_continues(self, sim):
+        seen = []
+        sim.schedule(10, lambda: seen.append(1))
+        sim.schedule(30, lambda: seen.append(2))
+        sim.run_until(20)
+        assert seen == [1]
+        sim.run_until(40)
+        assert seen == [1, 2]

@@ -1,0 +1,102 @@
+"""Tests for periodic processes and delayed calls."""
+
+import pytest
+
+from repro.sim.process import PeriodicProcess, delayed_call
+
+
+def test_ticks_at_fixed_period(sim):
+    times = []
+    process = PeriodicProcess(sim, 100, lambda p: times.append(sim.now))
+    process.start()
+    sim.run_until(350)
+    assert times == [100, 200, 300]
+
+
+def test_initial_delay_overrides_first_tick(sim):
+    times = []
+    process = PeriodicProcess(sim, 100, lambda p: times.append(sim.now))
+    process.start(initial_delay=10)
+    sim.run_until(250)
+    assert times == [10, 110, 210]
+
+
+def test_stop_halts_ticking(sim):
+    times = []
+    process = PeriodicProcess(sim, 100, lambda p: times.append(sim.now))
+    process.start()
+    sim.schedule(250, process.stop)
+    sim.run_until(1000)
+    assert times == [100, 200]
+
+
+def test_stop_from_within_callback(sim):
+    times = []
+
+    def callback(process):
+        times.append(sim.now)
+        if len(times) == 2:
+            process.stop()
+
+    PeriodicProcess(sim, 50, callback).start()
+    sim.run_until(1000)
+    assert times == [50, 100]
+
+
+def test_restart_realigns_phase(sim):
+    times = []
+    process = PeriodicProcess(sim, 100, lambda p: times.append(sim.now))
+    process.start()
+    sim.run_until(150)
+    process.start()  # restart at t=150
+    sim.run_until(400)
+    assert times == [100, 250, 350]
+
+
+def test_tick_counter(sim):
+    process = PeriodicProcess(sim, 10, lambda p: None)
+    process.start()
+    sim.run_until(55)
+    assert process.ticks == 5
+
+
+def test_invalid_period_rejected(sim):
+    with pytest.raises(ValueError):
+        PeriodicProcess(sim, 0, lambda p: None)
+
+
+def test_jitter_stays_within_bounds(sim):
+    times = []
+    rng = sim.rng.stream("jitter-test")
+    process = PeriodicProcess(
+        sim, 100, lambda p: times.append(sim.now), jitter_rng=rng, jitter=20
+    )
+    process.start()
+    sim.run_until(2000)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps, "expected several ticks"
+    assert all(100 <= gap <= 120 for gap in gaps)
+
+
+def test_running_property(sim):
+    process = PeriodicProcess(sim, 100, lambda p: None)
+    assert not process.running
+    process.start()
+    assert process.running
+    process.stop()
+    assert not process.running
+
+
+def test_delayed_call_fires_once(sim):
+    seen = []
+    delayed_call(sim, 42, lambda: seen.append(sim.now))
+    sim.run_until(1000)
+    assert seen == [42]
+
+
+def test_delayed_call_cancellable(sim):
+    seen = []
+    handle = delayed_call(sim, 42, lambda: seen.append(sim.now))
+    handle.cancel()
+    sim.run_until(1000)
+    assert seen == []

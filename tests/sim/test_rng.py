@@ -1,0 +1,46 @@
+"""Tests for named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = RngStreams(7).stream("mapping")
+    b = RngStreams(7).stream("mapping")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RngStreams(7)
+    a = streams.stream("mapping")
+    b = streams.stream("faults")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_give_different_sequences():
+    a = RngStreams(1).stream("mapping")
+    b = RngStreams(2).stream("mapping")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached_not_recreated():
+    streams = RngStreams(7)
+    first = streams.stream("x")
+    first.random()
+    assert streams.stream("x") is first
+
+
+def test_creation_order_does_not_change_sequences():
+    forward = RngStreams(7)
+    a1 = forward.stream("a")
+    forward.stream("b")
+    backward = RngStreams(7)
+    backward.stream("b")
+    a2 = backward.stream("a")
+    assert [a1.random() for _ in range(5)] == [a2.random() for _ in range(5)]
+
+
+def test_contains_reports_created_streams():
+    streams = RngStreams(7)
+    assert "x" not in streams
+    streams.stream("x")
+    assert "x" in streams

@@ -1,0 +1,66 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_records_all_categories_by_default():
+    trace = TraceRecorder()
+    trace.record(10, "a", x=1)
+    trace.record(20, "b", y=2)
+    assert len(trace) == 2
+
+
+def test_category_filter_drops_unlisted():
+    trace = TraceRecorder(enabled_categories=("keep",))
+    trace.record(1, "keep", v=1)
+    trace.record(2, "drop", v=2)
+    assert len(trace) == 1
+    assert trace.records[0].category == "keep"
+
+
+def test_empty_filter_records_nothing():
+    trace = TraceRecorder(enabled_categories=())
+    trace.record(1, "anything")
+    assert len(trace) == 0
+
+
+def test_enabled_query():
+    trace = TraceRecorder(enabled_categories=("a",))
+    assert trace.enabled("a")
+    assert not trace.enabled("b")
+
+
+def test_by_category_returns_in_order():
+    trace = TraceRecorder()
+    trace.record(1, "a", n=1)
+    trace.record(2, "b", n=2)
+    trace.record(3, "a", n=3)
+    assert [r.payload["n"] for r in trace.by_category("a")] == [1, 3]
+
+
+def test_count():
+    trace = TraceRecorder()
+    for t in range(5):
+        trace.record(t, "x")
+    trace.record(9, "y")
+    assert trace.count("x") == 5
+    assert trace.count("y") == 1
+
+
+def test_clear_keeps_filter():
+    trace = TraceRecorder(enabled_categories=("a",))
+    trace.record(1, "a")
+    trace.clear()
+    assert len(trace) == 0
+    trace.record(2, "b")
+    assert len(trace) == 0  # filter still active
+    trace.record(3, "a")
+    assert len(trace) == 1
+
+
+def test_payload_kept_verbatim():
+    trace = TraceRecorder()
+    trace.record(5, "switch", node=3, old=1, new=2)
+    record = trace.records[0]
+    assert record.time == 5
+    assert record.payload == {"node": 3, "old": 1, "new": 2}

@@ -1,0 +1,23 @@
+"""Tests for time-unit helpers."""
+
+from repro.sim.units import MICROSECONDS_PER_MILLISECOND, ms_to_us, us_to_ms
+
+
+def test_ms_to_us_integer():
+    assert ms_to_us(4) == 4000
+
+
+def test_ms_to_us_fractional():
+    assert ms_to_us(0.5) == 500
+
+
+def test_ms_to_us_returns_int():
+    assert isinstance(ms_to_us(1.25), int)
+
+
+def test_us_to_ms_roundtrip():
+    assert us_to_ms(ms_to_us(20)) == 20.0
+
+
+def test_constant():
+    assert MICROSECONDS_PER_MILLISECOND == 1000
