@@ -1,0 +1,16 @@
+PYTHON ?= python
+
+# Tier-1 test suite (the CI gate).
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Microbenchmarks + short sweep; exits non-zero if the gated benchmark
+# (test_small_platform_run) regresses >25% against BENCH_micro.json.
+bench:
+	$(PYTHON) -m benchmarks.harness --micro
+
+# Refresh the checked-in perf baseline after an intentional change.
+bench-baseline:
+	$(PYTHON) -m benchmarks.harness --micro --update-baseline
+
+.PHONY: test bench bench-baseline

@@ -102,7 +102,11 @@ def test_ni_model_event_rate(benchmark):
 
 
 def test_small_platform_run(benchmark):
-    """Full-stack 4x4 run, 50 simulated ms."""
+    """Full-stack 4x4 run, 50 simulated ms.
+
+    This is the benchmark the ``make bench`` regression gate watches, so
+    it uses enough rounds for a noise-resistant median.
+    """
 
     def run():
         platform = CenturionPlatform(
@@ -111,4 +115,4 @@ def test_small_platform_run(benchmark):
         platform.run(50_000)
         return platform.workload.stats()["generated"]
 
-    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+    assert benchmark.pedantic(run, rounds=15, iterations=3) > 0

@@ -1,4 +1,4 @@
-"""Shared helpers for the benchmark suite.
+"""Shared helpers for the benchmark suite, plus the perf-gate CLI.
 
 Environment knobs
 -----------------
@@ -8,9 +8,31 @@ REPRO_RUNS
     hour on one core) for the full-fidelity sweep.
 REPRO_SEED_BASE
     First seed of the canonical seed list (default 1000).
+
+Perf gate
+---------
+``python -m benchmarks.harness --micro`` runs the microbenchmarks
+(``bench_micro.py`` via pytest-benchmark) plus a short table sweep, writes
+the medians to ``BENCH_micro.json`` at the repo root, and exits non-zero
+when ``test_small_platform_run`` has regressed more than 25 % against the
+checked-in baseline.  ``--update-baseline`` refreshes the checked-in
+numbers after an intentional change; ``make bench`` is the shorthand.
 """
 
+import argparse
+import json
 import os
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Repo root (this file lives in benchmarks/); set up before the repro
+#: import so ``python -m benchmarks.harness`` works without PYTHONPATH.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 from repro.experiments.runner import default_seeds, run_batch
 
@@ -19,6 +41,16 @@ MODELS = ("none", "network_interaction", "foraging_for_work")
 
 #: Paper fault counts for Table II.
 TABLE2_FAULTS = (0, 2, 4, 8, 16, 32)
+
+#: Repo root (this file lives in benchmarks/).
+REPO_ROOT = _REPO_ROOT
+
+#: The checked-in perf baseline written/read by the --micro gate.
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_micro.json")
+
+#: Benchmark watched by the regression gate, and the allowed slowdown.
+GATED_BENCHMARK = "test_small_platform_run"
+REGRESSION_TOLERANCE = 1.25
 
 
 def runs_per_cell(default=15):
@@ -48,3 +80,164 @@ def gather_faulted(config, fault_counts=TABLE2_FAULTS, runs=None):
                 model, seeds, faults=faults, config=config
             )
     return results
+
+
+# -- perf-gate CLI -----------------------------------------------------------
+
+
+def run_micro_benchmarks():
+    """Run bench_micro.py under pytest-benchmark; return name -> median s."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                os.path.join(REPO_ROOT, "benchmarks", "bench_micro.py"),
+                "-q",
+                "--benchmark-warmup=off",
+                "--benchmark-json={}".format(json_path),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                "bench_micro.py failed (exit {})".format(proc.returncode)
+            )
+        with open(json_path) as handle:
+            report = json.load(handle)
+    finally:
+        os.unlink(json_path)
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in report["benchmarks"]
+    }
+
+
+def run_short_sweep(models=("none", "foraging_for_work"), seeds=2):
+    """Time a miniature table sweep; returns wall seconds.
+
+    A couple of small-platform batch runs exercise the full stack the way
+    Tables I/II do (construction + run + analysis per seed), so sweep-level
+    regressions that the microbenchmarks miss still show up here.
+    """
+    from repro.platform.config import PlatformConfig
+
+    config = PlatformConfig.small()
+    seed_list = default_seeds(seeds, base=seed_base())
+    start = time.perf_counter()
+    for model in models:
+        run_batch(model, seed_list, faults=0, config=config,
+                  keep_series=False)
+    return time.perf_counter() - start
+
+
+def load_baseline(path=BASELINE_PATH):
+    """The checked-in baseline dict, or ``None`` when absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_baseline(result, path=BASELINE_PATH):
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_regression(medians, baseline):
+    """Regression message for the gated benchmark, or ``None`` if fine."""
+    if not baseline:
+        return None
+    reference = baseline.get("benchmarks", {}).get(GATED_BENCHMARK)
+    current = medians.get(GATED_BENCHMARK)
+    if reference is None or current is None:
+        return None
+    limit = reference * REGRESSION_TOLERANCE
+    if current > limit:
+        return (
+            "{}: median {:.4f}s exceeds {:.0f}% of baseline {:.4f}s".format(
+                GATED_BENCHMARK,
+                current,
+                REGRESSION_TOLERANCE * 100,
+                reference,
+            )
+        )
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.harness",
+        description="Benchmark runner and perf regression gate.",
+    )
+    parser.add_argument(
+        "--micro", action="store_true",
+        help="run the microbenchmarks + short sweep and gate on baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite BENCH_micro.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+    if not args.micro:
+        parser.error("nothing to do (pass --micro)")
+
+    medians = run_micro_benchmarks()
+    sweep_seconds = run_short_sweep()
+    print()
+    print("median wall-time per benchmark:")
+    for name in sorted(medians):
+        print("  {:<36} {:>10.6f} s".format(name, medians[name]))
+    print("  {:<36} {:>10.6f} s".format("short_sweep (2 models x 2 seeds)",
+                                        sweep_seconds))
+
+    baseline = load_baseline()
+    message = check_regression(medians, baseline)
+    result = {
+        "benchmarks": medians,
+        "short_sweep_s": sweep_seconds,
+        "gated_benchmark": GATED_BENCHMARK,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+    }
+    if baseline:
+        # Carry over auxiliary blocks (history, seed_reference, notes).
+        for key, value in baseline.items():
+            result.setdefault(key, value)
+
+    if baseline is None:
+        write_baseline(result)
+        print("\nwrote initial baseline to {}".format(BASELINE_PATH))
+        return 0
+    if message is not None and not args.update_baseline:
+        print("\nPERF REGRESSION: {}".format(message))
+        return 2
+    if args.update_baseline:
+        history = result.setdefault("history", [])
+        history.append(
+            {
+                name: baseline["benchmarks"].get(name)
+                for name in sorted(baseline.get("benchmarks", {}))
+            }
+        )
+        write_baseline(result)
+        print("\nbaseline updated at {}".format(BASELINE_PATH))
+    else:
+        print("\nwithin {:.0f}% of baseline — ok".format(
+            REGRESSION_TOLERANCE * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,14 +108,46 @@ class KnobBank:
         return {name: knob.actuations for name, knob in self._knobs.items()}
 
 
+class LazyKnobBank(KnobBank):
+    """Knob bank that builds each knob object on first access.
+
+    Platform construction instantiates one bank per node (128 × 5 knobs on
+    the full Centurion) but most runs only ever pull ``task_select``, so
+    the bank stores zero-argument factories and materialises lazily.
+    Behaviour is indistinguishable from an eager bank: membership, names
+    and actuation counts cover unbuilt knobs (at zero actuations).
+    """
+
+    def __init__(self, factories):
+        super().__init__({})
+        self._factories = dict(factories)
+
+    def __getitem__(self, name):
+        knob = self._knobs.get(name)
+        if knob is None:
+            knob = self._knobs[name] = self._factories[name]()
+        return knob
+
+    def __contains__(self, name):
+        return name in self._factories
+
+    def names(self):
+        """Sorted knob names."""
+        return sorted(self._factories)
+
+    def actuation_counts(self):
+        """Mapping knob name -> number of actuations."""
+        return {name: self[name].actuations for name in self._factories}
+
+
 def standard_knob_bank(pe, router, reason="aim"):
-    """Build the full Figure 2a knob set for one node."""
-    return KnobBank(
+    """Build the full Figure 2a knob set for one node (lazily)."""
+    return LazyKnobBank(
         {
-            "task_select": TaskSelectKnob(pe, reason=reason),
-            "clock_enable": ClockEnableKnob(pe),
-            "reset": ResetKnob(pe),
-            "frequency": FrequencyKnob(pe),
-            "router_config": RouterConfigKnob(router),
+            "task_select": lambda: TaskSelectKnob(pe, reason=reason),
+            "clock_enable": lambda: ClockEnableKnob(pe),
+            "reset": lambda: ResetKnob(pe),
+            "frequency": lambda: FrequencyKnob(pe),
+            "router_config": lambda: RouterConfigKnob(router),
         }
     )

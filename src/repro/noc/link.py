@@ -7,6 +7,12 @@ at packet granularity: a packet of ``n`` flits seizes the link for
 ``n * flit_time`` µs and later packets queue behind it, which captures the
 head-of-line blocking that the intelligence models feel as congestion
 without simulating individual flits.
+
+Hot-path contract: ``busy_until`` is a public slot read directly by the
+express hop engine (:mod:`repro.noc.network`) and claims are made through
+:meth:`Link.transfer` parameterised by the *departure* time, never by the
+caller's wall position — this is what lets an inlined hop claim the channel
+with exactly the timing a scheduled hop event would have produced.
 """
 
 

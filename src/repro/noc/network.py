@@ -10,14 +10,45 @@ Task-addressed delivery works like this:
    packet's destination task (minimised Manhattan distance) and stamps it as
    ``dest_node``;
 2. each hop picks the next direction from the fault-aware routing policy,
-   waits for the output channel (wormhole occupancy), and re-enters
-   ``_arrive`` at the downstream router;
+   waits for the output channel (wormhole occupancy), and re-enters the hop
+   engine at the downstream router;
 3. at the destination router the packet is checked against the directory —
    if the node switched task or died while the packet was in flight, the
    packet is re-resolved toward a new provider (counted as a reroute), which
    is how traffic follows the adapting task topology;
 4. delivery hands the packet to the ``deliver_handler`` installed by the
    platform (the processing element's internal port).
+
+Hot-path notes (the express hop engine)
+---------------------------------------
+Simulating one heap event per packet per hop is the classic design but pays
+kernel overhead (handle allocation, heap push/pop, callback dispatch) on
+the hottest path of every table sweep.  The express engine collapses a
+multi-hop flight into a *single* scheduled event without changing a single
+observable bit:
+
+* the first hop of a flight is always a real event (``_arrive`` never walks
+  inline — the injector's enclosing callback, e.g. a PE completion emitting
+  several packets, must finish its own same-time work first);
+* the hop event callback (``_hop_walk``) processes its arrival and then
+  keeps walking subsequent hops *inline*, advancing the simulator clock
+  manually, for as long as :meth:`repro.sim.engine.Simulator.try_advance`
+  grants it the next hop time.  The gate holds exactly when no pending
+  event would dispatch at or before that time, in which case executing the
+  hop inline is indistinguishable from scheduling it — per-hop link claims,
+  router counters, observer notifications and model reactions all happen
+  at their exact hop timestamps, so FFW lateness arming, NI counting and
+  adaptive port choices are bit-identical with the express path on or off;
+* the gate is re-evaluated after every hop's side effects, so a model that
+  fires mid-flight (scheduling or cancelling events) automatically demotes
+  the rest of the flight to ordinary event scheduling;
+* mid-flight task switches and faults need no special epoch machinery: the
+  walker runs the same per-hop checks (failure, destination task, provider
+  re-resolution) as the event path, at the same simulated times.
+
+Per-hop lookups are precomputed: ``_hop_table[node][direction]`` holds the
+``(neighbor, link, entry port)`` triple, replacing topology math, link dict
+hashing and the reverse-direction lookup on every hop.
 """
 
 from repro.noc.deadlock import DeadlockRecovery
@@ -29,7 +60,7 @@ from repro.noc.routing import (
     RoutingPolicy,
     UnroutableError,
 )
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import MeshTopology, opposite
 
 
 class Network:
@@ -50,34 +81,60 @@ class Network:
     max_reroutes:
         How many times a packet may be re-resolved to a new provider before
         being dropped (guards against pathological switch storms).
+    fast_path:
+        Enable the express hop engine (see module docstring).  Results are
+        bit-identical either way; disabling it exists for A/B verification
+        and kernel debugging.
     trace:
         Optional :class:`repro.sim.trace.TraceRecorder`.
     """
 
     def __init__(self, sim, topology=None, flit_time=1, wire_latency=1,
                  router_config=None, deadlock_wait_limit=50_000,
-                 max_reroutes=8, trace=None):
+                 max_reroutes=8, fast_path=True, trace=None):
         self.sim = sim
         self.topology = topology if topology is not None else MeshTopology()
         self.policy = RoutingPolicy(self.topology)
         self.directory = ProviderDirectory(self.topology)
         self.deadlock = DeadlockRecovery(deadlock_wait_limit)
         self.max_reroutes = max_reroutes
+        self.fast_path = fast_path
         self.trace = trace
+        # Per-category recorder shortcuts: the default sweeps disable the
+        # per-packet categories, so the hot paths skip the record() call
+        # (and its keyword packing) entirely instead of filtering inside.
+        self._trace_delivered = (
+            trace if trace is not None and trace.enabled("packet_delivered")
+            else None
+        )
+        self._trace_dropped = (
+            trace if trace is not None and trace.enabled("packet_dropped")
+            else None
+        )
         prototype = router_config if router_config is not None else RouterConfig()
         self.routers = {
             node: Router(node, prototype.copy())
             for node in self.topology.node_ids()
         }
         self.links = {}
+        #: Per-node hop lookup: direction -> (neighbor, link, entry port).
+        self._hop_table = {}
         for node in self.topology.node_ids():
+            hops = {}
             for direction, neighbor in self.topology.neighbors(node).items():
-                self.links[(node, neighbor)] = Link(
+                link = Link(
                     node, neighbor, flit_time=flit_time,
                     wire_latency=wire_latency,
                 )
+                self.links[(node, neighbor)] = link
+                hops[direction] = (neighbor, link, opposite(direction))
+            self._hop_table[node] = hops
         self.deliver_handler = None
         self.failed_nodes = set()
+        #: Hops executed inline by the express engine (diagnostic only —
+        #: deliberately kept out of ``stats`` so fast/slow runs compare
+        #: equal on the experiment-facing counters).
+        self.express_hops = 0
         self.stats = {
             "sent": 0,
             "delivered": 0,
@@ -149,9 +206,14 @@ class Network:
         provider of its task.  Falls back to reusing providers when fewer
         than ``len(packets)`` exist.  Returns the number of packets that
         entered the network.
+
+        The siblings' first-hop events are bulk-inserted through
+        :meth:`repro.sim.engine.Simulator.schedule_many_at` — one batch
+        per generated instance instead of one heap push per branch.
         """
         chosen = set()
         entered = 0
+        first_hops = []
         for packet in packets:
             self.stats["sent"] += 1
             packet.status = PacketStatus.IN_FLIGHT
@@ -173,8 +235,10 @@ class Network:
                 continue
             chosen.add(dest)
             packet.dest_node = dest
-            self._arrive(packet, from_node)
+            self._arrive(packet, from_node, defer=first_hops)
             entered += 1
+        if first_hops:
+            self.sim.schedule_many_at(first_hops)
         return entered
 
     def redirect(self, packet, from_node, exclude=()):
@@ -205,74 +269,130 @@ class Network:
 
     # -- hop engine ---------------------------------------------------------------------
 
-    def _arrive(self, packet, node):
-        """Packet is at ``node``'s router at the current simulation time."""
+    def _arrive(self, packet, node, defer=None):
+        """Packet is at ``node``'s router at the current simulation time.
+
+        Injection entry point (send / multicast / redirect / requeue).  The
+        first hop is always scheduled as a real event: the caller's
+        enclosing callback may still have same-time work to do (a PE
+        completion emitting several packets, a task switch requeueing a
+        buffer), so the walk must not advance the clock from here.  With
+        ``defer`` set, the hop event is appended to the list as a
+        ``(time, callback)`` pair instead of scheduled — used by multicast
+        to bulk-insert sibling first hops.
+        """
         if not packet.in_flight:
             return
         if node in self.failed_nodes:
             self._drop(packet, PacketStatus.DROPPED_FAULT)
             return
+        step = self._route_step(packet, node)
+        if step is None:
+            return
+        neighbor, in_port, arrival_time = step
+        callback = (
+            lambda p=packet, n=neighbor, d=in_port: self._hop_walk(p, n, d)
+        )
+        if defer is None:
+            self.sim.post_at(arrival_time, callback)
+        else:
+            defer.append((arrival_time, callback))
+
+    def _hop_walk(self, packet, node, in_port):
+        """Hop-event callback: process this arrival, then walk while safe.
+
+        Each iteration is one router arrival: the same checks, counters and
+        routing decisions as the one-event-per-hop engine, at the same
+        simulated time.  Between hops the walker asks the kernel's
+        ``try_advance`` gate for the next arrival time; if anything else is
+        due first (including events just scheduled by an observer reacting
+        to *this* hop), the remainder of the flight is demoted to a real
+        event and dispatch order is preserved exactly.
+        """
+        sim = self.sim
+        fast_path = self.fast_path
+        routers = self.routers
+        failed = self.failed_nodes
+        while True:
+            if not packet.in_flight:
+                return
+            if node in failed:
+                self._drop(packet, PacketStatus.DROPPED_FAULT)
+                return
+            # Inlined Router.record_port(in_port, incoming=True).
+            routers[node].ports[in_port].packets_in += 1
+            step = self._route_step(packet, node)
+            if step is None:
+                return
+            neighbor, in_port, arrival_time = step
+            if fast_path and sim.try_advance(arrival_time):
+                self.express_hops += 1
+                node = neighbor
+                continue
+            sim.post_at(
+                arrival_time,
+                lambda p=packet, n=neighbor, d=in_port: self._hop_walk(
+                    p, n, d
+                ),
+            )
+            return
+
+    def _route_step(self, packet, node):
+        """One router's worth of forwarding work at the current time.
+
+        Delivery checks, provider re-resolution, output-port choice,
+        deadlock bound, wormhole link claim and the router's counters and
+        observer notifications.  Returns ``None`` on a terminal outcome
+        (delivered or dropped), else ``(neighbor, entry port, arrival
+        time)`` for the next hop.
+        """
         router = self.routers[node]
         if node == packet.dest_node:
             if self.directory.task_of(node) == packet.dest_task:
                 self._deliver(packet, node, router)
-                return
+                return None
             # Destination changed task while the packet was in flight:
             # re-resolve toward the task's new nearest provider.
             if not self._reresolve(packet, node):
-                return
+                return None
             if packet.dest_node == node:
                 self._deliver(packet, node, router)
-                return
+                return None
         try:
             direction = self.policy.next_direction(node, packet.dest_node)
         except UnroutableError:
             if not self._reresolve(packet, node, exclude=(packet.dest_node,)):
-                return
+                return None
             if packet.dest_node == node:
                 self._deliver(packet, node, router)
-                return
+                return None
             try:
                 direction = self.policy.next_direction(node, packet.dest_node)
             except UnroutableError:
                 self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
                            at_node=node)
-                return
-        direction = self._adaptive_port(router, node, packet, direction)
-        neighbor = self.topology.neighbor(node, direction)
-        if neighbor is None:
+                return None
+        if router.config.routing_mode == "adaptive":
+            direction = self._adaptive_port(router, node, packet, direction)
+        hop = self._hop_table[node].get(direction)
+        if hop is None:
             self._drop(packet, PacketStatus.DROPPED_NO_PROVIDER,
                        at_node=node)
-            return
-        link = self.links[(node, neighbor)]
+            return None
+        neighbor, link, in_port = hop
         now = self.sim.now
-        wait = link.queue_delay(now)
-        if self.deadlock.should_drop(wait):
+        if self.deadlock.should_drop(link.busy_until - now):
             self.deadlock.record_drop(now)
             self._drop(packet, PacketStatus.DROPPED_DEADLOCK, at_node=node)
-            return
+            return None
         router.notify_routed(packet, to_internal=False)
-        router.record_port(direction, incoming=False)
+        # Inlined Router.record_port(direction, incoming=False).
+        router.ports[direction].packets_out += 1
         departure = now + router.config.router_latency
         arrival_time = link.transfer(packet, departure)
         packet.hops += 1
         self.stats["hops"] += 1
-        from repro.noc.topology import opposite
-
-        in_port = opposite(direction)
-        self.sim.schedule_at(
-            arrival_time,
-            lambda p=packet, n=neighbor, d=in_port: self._hop_in(p, n, d),
-        )
-
-    def _hop_in(self, packet, node, in_port):
-        if not packet.in_flight:
-            return
-        if node in self.failed_nodes:
-            self._drop(packet, PacketStatus.DROPPED_FAULT)
-            return
-        self.routers[node].record_port(in_port, incoming=True)
-        self._arrive(packet, node)
+        return neighbor, in_port, arrival_time
 
     def _adaptive_port(self, router, node, packet, policy_direction):
         """Congestion-aware minimal output-port choice (paper §V).
@@ -286,17 +406,15 @@ class Network:
         adaptive routing can in principle deadlock; like the real
         Centurion, the deadlock-recovery timeout is the backstop.
         """
-        if router.config.routing_mode != "adaptive":
-            return policy_direction
         candidates = self.policy.minimal_directions(node, packet.dest_node)
         if len(candidates) < 2 or policy_direction not in candidates:
             return policy_direction
         now = self.sim.now
+        hops = self._hop_table[node]
         best = policy_direction
         best_wait = None
         for direction in candidates:
-            neighbor = self.topology.neighbor(node, direction)
-            wait = self.links[(node, neighbor)].queue_delay(now)
+            wait = hops[direction][1].queue_delay(now)
             if best_wait is None or wait < best_wait:
                 best = direction
                 best_wait = wait
@@ -309,8 +427,8 @@ class Network:
         packet.status = PacketStatus.DELIVERED
         packet.delivered_at = self.sim.now
         self.stats["delivered"] += 1
-        if self.trace is not None:
-            self.trace.record(
+        if self._trace_delivered is not None:
+            self._trace_delivered.record(
                 self.sim.now,
                 "packet_delivered",
                 packet=packet.packet_id,
@@ -351,8 +469,8 @@ class Network:
             router = self.routers.get(at_node)
             if router is not None:
                 router.notify_dropped(packet)
-        if self.trace is not None:
-            self.trace.record(
+        if self._trace_dropped is not None:
+            self._trace_dropped.record(
                 self.sim.now,
                 "packet_dropped",
                 packet=packet.packet_id,

@@ -63,12 +63,16 @@ class RouterConfig:
         self.recent_queue_depth = recent_queue_depth
 
     def copy(self):
-        """Independent copy (each router owns its settings)."""
-        return RouterConfig(
-            routing_mode=self.routing_mode,
-            router_latency=self.router_latency,
-            recent_queue_depth=self.recent_queue_depth,
-        )
+        """Independent copy (each router owns its settings).
+
+        Skips ``__init__`` — the source instance already validated, and
+        128 copies are made per platform construction.
+        """
+        clone = RouterConfig.__new__(RouterConfig)
+        clone.routing_mode = self.routing_mode
+        clone.router_latency = self.router_latency
+        clone.recent_queue_depth = self.recent_queue_depth
+        return clone
 
 
 class Router:
@@ -147,16 +151,18 @@ class Router:
         if self.failed:
             return
         task = packet.dest_task
-        self.task_route_counts[task] = self.task_route_counts.get(task, 0) + 1
+        counts = self.task_route_counts
+        counts[task] = counts.get(task, 0) + 1
         if to_internal:
             self.packets_sunk += 1
             self.ports[INTERNAL].packets_out += 1
         else:
             self.packets_forwarded += 1
-            self.recent_tasks.append(task)
-            overflow = len(self.recent_tasks) - self.config.recent_queue_depth
+            recent = self.recent_tasks
+            recent.append(task)
+            overflow = len(recent) - self.config.recent_queue_depth
             if overflow > 0:
-                del self.recent_tasks[:overflow]
+                del recent[:overflow]
         for handler in self._routed_handlers:
             handler(self, packet, to_internal)
 

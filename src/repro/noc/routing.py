@@ -20,7 +20,14 @@ Two layers:
 
 from collections import deque
 
-from repro.noc.topology import DIRECTIONS, EAST, NORTH, SOUTH, WEST
+from repro.noc.topology import (
+    DIRECTIONS,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    opposite,
+)
 
 
 class ProviderDirectory:
@@ -44,6 +51,8 @@ class ProviderDirectory:
         self._coords = [topology.coords(n) for n in topology.node_ids()]
         self._rank_cache = {}
         self._rank_cache_version = 0
+        self._providers_cache = {}
+        self._providers_cache_version = 0
 
     # -- updates -------------------------------------------------------------
 
@@ -64,12 +73,16 @@ class ProviderDirectory:
         self.version += 1
 
     def mark_failed(self, node_id):
-        """Remove a failed node from all provider sets."""
+        """Remove a failed node from all provider sets.
+
+        The version bump rides on :meth:`set_task`: provider caches only
+        depend on the provider sets, and those change exactly when the
+        node had a live task to clear.
+        """
         if node_id in self._failed:
             return
         self._failed.add(node_id)
         self.set_task(node_id, None)
-        self.version += 1
 
     # -- queries -------------------------------------------------------------
 
@@ -78,8 +91,19 @@ class ProviderDirectory:
         return self._node_task.get(node_id)
 
     def providers(self, task_id):
-        """Sorted list of healthy nodes performing ``task_id``."""
-        return sorted(self._providers.get(task_id, ()))
+        """Sorted list of healthy nodes performing ``task_id``.
+
+        The sorted list is cached per task until the directory changes
+        (version bump); callers must treat it as read-only.
+        """
+        if self._providers_cache_version != self.version:
+            self._providers_cache.clear()
+            self._providers_cache_version = self.version
+        cached = self._providers_cache.get(task_id)
+        if cached is None:
+            cached = sorted(self._providers.get(task_id, ()))
+            self._providers_cache[task_id] = cached
+        return cached
 
     def provider_count(self, task_id):
         """Number of healthy providers of ``task_id``."""
@@ -170,6 +194,14 @@ class RoutingPolicy:
         self.xy = XYRouting(topology)
         self._failed = frozenset()
         self._table_cache = {}
+        # Next-hop direction cache: given a fixed failure set the chosen
+        # direction is a pure function of (current, dest), and
+        # next_direction is called once per hop on the hottest path.  On
+        # the healthy mesh this memoises the XY arithmetic; around faults
+        # it also absorbs the per-hop XY-path-clear walk and BFS table
+        # lookups (the dominant cost of post-fault Table II sweeps).
+        # Dropped whenever the failure set changes.
+        self._direction_cache = {}
 
     # -- fault management ------------------------------------------------------
 
@@ -179,6 +211,7 @@ class RoutingPolicy:
         if failed != self._failed:
             self._failed = failed
             self._table_cache.clear()
+            self._direction_cache.clear()
 
     @property
     def failed(self):
@@ -195,13 +228,26 @@ class RoutingPolicy:
         """
         if current == dest:
             return None
+        key = (current, dest)
+        direction = self._direction_cache.get(key)
+        if direction is not None:
+            return direction
         if dest in self._failed:
             raise UnroutableError(current, dest, "destination failed")
         if not self._failed:
-            return self.xy.next_direction(current, dest)
-        # Try XY first: it is still correct if every hop on the XY path is
-        # alive; checking just the immediate hop keeps this O(1), falling
-        # back to the BFS table when the neighbour is dead.
+            direction = self.xy.next_direction(current, dest)
+        else:
+            direction = self._detour_direction(current, dest)
+        self._direction_cache[key] = direction
+        return direction
+
+    def _detour_direction(self, current, dest):
+        """Next hop with failed routers present (cache-miss path).
+
+        Try XY first: it is still correct if every hop on the XY path is
+        alive, otherwise fall back to the BFS next-hop table over the
+        surviving routers.
+        """
         direction = self.xy.next_direction(current, dest)
         neighbor = self.topology.neighbor(current, direction)
         if neighbor is not None and neighbor not in self._failed:
@@ -298,8 +344,6 @@ class RoutingPolicy:
                 ):
                     continue
                 # The neighbour reaches dest by stepping back toward node.
-                from repro.noc.topology import opposite
-
                 table[neighbor] = opposite(direction)
                 visited.add(neighbor)
                 frontier.append(neighbor)

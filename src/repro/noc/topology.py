@@ -24,6 +24,12 @@ _OFFSETS = {
 
 _OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
 
+#: Shared per-shape caches: table sweeps construct hundreds of identically
+#: shaped meshes, so adjacency and coordinate tables are computed once per
+#: ``(width, height)`` and shared between instances (they are read-only).
+_ADJACENCY_CACHE = {}
+_COORDS_CACHE = {}
+
 
 def opposite(direction):
     """The reverse mesh direction (``N``↔``S``, ``E``↔``W``)."""
@@ -45,6 +51,32 @@ class MeshTopology:
             )
         self.width = width
         self.height = height
+        key = (width, height)
+        coords = _COORDS_CACHE.get(key)
+        if coords is None:
+            coords = _COORDS_CACHE[key] = [
+                (n % width, n // width) for n in range(width * height)
+            ]
+        self._coords = coords
+        adjacency = _ADJACENCY_CACHE.get(key)
+        if adjacency is None:
+            adjacency = _ADJACENCY_CACHE[key] = self._build_adjacency()
+        self._adjacency = adjacency
+
+    def _build_adjacency(self):
+        """Per-node ``{direction: neighbor-or-None}`` for all directions."""
+        table = []
+        for node_id in range(self.width * self.height):
+            x, y = self._coords[node_id]
+            hops = {}
+            for direction, (dx, dy) in _OFFSETS.items():
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < self.width and 0 <= ny < self.height:
+                    hops[direction] = ny * self.width + nx
+                else:
+                    hops[direction] = None
+            table.append(hops)
+        return table
 
     # -- id / coordinate conversion ----------------------------------------
 
@@ -58,8 +90,9 @@ class MeshTopology:
 
     def coords(self, node_id):
         """``(x, y)`` of a node id."""
+        if 0 <= node_id < len(self._coords):
+            return self._coords[node_id]
         self._check_id(node_id)
-        return node_id % self.width, node_id // self.width
 
     def node_id(self, x, y):
         """Node id at coordinates ``(x, y)``."""
@@ -74,21 +107,19 @@ class MeshTopology:
 
     def neighbor(self, node_id, direction):
         """Neighbour id in ``direction`` or ``None`` at the mesh edge."""
-        x, y = self.coords(node_id)
-        dx, dy = _OFFSETS[direction]
-        nx, ny = x + dx, y + dy
-        if not self.in_bounds(nx, ny):
-            return None
-        return self.node_id(nx, ny)
+        if 0 <= node_id < len(self._adjacency):
+            return self._adjacency[node_id][direction]
+        self._check_id(node_id)
 
     def neighbors(self, node_id):
         """Mapping of direction -> neighbour id (edges omitted)."""
-        result = {}
-        for direction in DIRECTIONS:
-            other = self.neighbor(node_id, direction)
-            if other is not None:
-                result[direction] = other
-        return result
+        if not 0 <= node_id < len(self._adjacency):
+            self._check_id(node_id)
+        return {
+            direction: other
+            for direction, other in self._adjacency[node_id].items()
+            if other is not None
+        }
 
     def direction_to(self, src, dst):
         """Mesh direction from ``src`` to an *adjacent* ``dst``.

@@ -63,7 +63,8 @@ class ProcessingElement:
         self.frequency = FrequencyScaler()
         self.watchdog = Watchdog()
         self.thermal = ThermalModel()
-        self._rng = sim.rng.stream("pe-service-{}".format(node_id))
+        self._rng = None  # service-jitter stream, created on first draw
+        self._genphase_rng = None  # generation-phase stream, ditto
         self._gen_process = None
         self._gen_seq = 0
         self._observers = []
@@ -161,9 +162,11 @@ class ProcessingElement:
         period = self.app.generation_period(self.task_id)
         if period is None:
             return
-        jitter_rng = self.sim.rng.stream(
-            "pe-genphase-{}".format(self.node_id)
-        )
+        jitter_rng = self._genphase_rng
+        if jitter_rng is None:
+            jitter_rng = self._genphase_rng = self.sim.rng.stream(
+                "pe-genphase-{}".format(self.node_id)
+            )
         # Random initial phase so sources do not emit in lockstep.
         initial = jitter_rng.randrange(1, period + 1)
         self._gen_process = PeriodicProcess(
@@ -237,7 +240,7 @@ class ProcessingElement:
         packet.reroutes += 1
         packet.mark_tried(self.node_id)
         node = self.node_id
-        self.sim.schedule(
+        self.sim.post(
             self.overflow_hold_us,
             lambda p=packet, n=node: self.network.redirect(
                 p, n, exclude=p.tried_providers()
@@ -248,7 +251,14 @@ class ProcessingElement:
 
     def _service_duration(self, nominal):
         if self.service_jitter > 0:
-            factor = 1.0 + self._rng.uniform(
+            rng = self._rng
+            if rng is None:
+                # Named stream: creation order does not affect the draws,
+                # so it is safe (and cheaper) to create it on first use.
+                rng = self._rng = self.sim.rng.stream(
+                    "pe-service-{}".format(self.node_id)
+                )
+            factor = 1.0 + rng.uniform(
                 -self.service_jitter, self.service_jitter
             )
         else:
@@ -268,7 +278,9 @@ class ProcessingElement:
         nominal = self.app.service_time(self.task_id)
         duration = self._service_duration(nominal)
         self.busy = True
-        self.sim.schedule(
+        # Fire-and-forget: completions are never cancelled (halt() checks
+        # inside _complete), so skip the event-handle allocation.
+        self.sim.post(
             duration, lambda p=packet, d=duration: self._complete(p, d)
         )
 

@@ -20,7 +20,7 @@ from repro.app.mapping import (
 from repro.app.metrics import MetricsSampler
 from repro.app.taskgraph import fork_join_graph
 from repro.app.workload import ForkJoinWorkload
-from repro.core.aim import ArtificialIntelligenceModule
+from repro.core.aim import AimTickBank, ArtificialIntelligenceModule
 from repro.core.models.registry import create_model, resolve_model_name
 from repro.node.processor import ProcessingElement
 from repro.noc.network import Network
@@ -77,6 +77,7 @@ class CenturionPlatform:
             ),
             deadlock_wait_limit=self.config.deadlock_wait_limit_us,
             max_reroutes=self.config.max_reroutes,
+            fast_path=self.config.fast_path,
             trace=self.trace,
         )
         self.graph = fork_join_graph(
@@ -95,6 +96,9 @@ class CenturionPlatform:
         )
         self.pes = {}
         self.aims = {}
+        # All AIMs tick in lockstep, so they share one periodic event
+        # (AimTickBank) instead of one event per node per period.
+        self._aim_ticker = AimTickBank(self.sim, self.config.aim_tick_us)
         for node_id in topology.node_ids():
             pe = ProcessingElement(
                 self.sim,
@@ -114,8 +118,13 @@ class CenturionPlatform:
                 self.network,
                 model=self._build_model(model_params),
                 tick_period_us=self.config.aim_tick_us,
+                tick_bank=self._aim_ticker,
             )
-        self.network.set_deliver_handler(self._deliver)
+        # Bind delivery straight to the PE table (one frame per delivery).
+        pes = self.pes
+        self.network.set_deliver_handler(
+            lambda packet, node_id: pes[node_id].receive(packet)
+        )
         self._apply_initial_mapping()
         self.sampler = MetricsSampler(
             self.sim,

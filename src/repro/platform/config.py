@@ -29,6 +29,10 @@ class PlatformConfig:
     #: "xy" (the paper's evaluated heuristic) or "adaptive" (§V extension:
     #: congestion-aware minimal output-port selection).
     routing_mode: str = "xy"
+    #: Express hop engine: collapse multi-hop flights into single events
+    #: when provably safe (see repro.noc.network).  Bit-identical results
+    #: either way; the knob exists for A/B verification and debugging.
+    fast_path: bool = True
 
     # -- processing elements ----------------------------------------------------
     queue_capacity: int = 6

@@ -2,9 +2,10 @@
 
 The :class:`Simulator` is a classic calendar-queue discrete-event kernel:
 
-* events are ``(time, priority, seq, callback)`` tuples kept in a binary
-  heap, so ties at the same timestamp break first by priority and then by
-  insertion order — this makes runs reproducible;
+* events are kept in a binary heap whose entries are plain
+  ``(time, priority, seq, handle, callback)`` tuples, so ties at the same
+  timestamp break first by priority and then by insertion order — this
+  makes runs reproducible;
 * ``run_until(horizon)`` pops and dispatches events until the queue is empty
   or the horizon is passed;
 * cancelling is done by tombstoning (the heap entry stays, the handle is
@@ -12,10 +13,42 @@ The :class:`Simulator` is a classic calendar-queue discrete-event kernel:
 
 The kernel knows nothing about routers or ants; everything above it talks to
 it through :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+
+Hot-path notes
+--------------
+The kernel is the inner loop of every table sweep, so its design choices
+are performance-motivated:
+
+* heap entries are tuples of ints (plus trailing non-compared payload), so
+  every sift comparison runs in C without calling back into Python —
+  ``Event.__lt__`` exists only for compatibility and is never used by the
+  queue itself;
+* ``run_until`` is a single fused pop-until-horizon loop: one ``heap[0]``
+  peek plus one ``heappop`` per event, with no per-event method calls into
+  the queue object;
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` schedule fire-and-
+  forget callbacks without allocating an :class:`Event` handle — used by
+  the NoC hop engine and the PE service loop, the two hottest schedulers;
+* :meth:`Simulator.schedule_many` bulk-inserts a batch of callbacks,
+  switching from repeated pushes to an O(n) heapify when the batch is
+  large relative to the queue;
+* cancellations are counted, and the queue compacts itself (filters dead
+  entries and re-heapifies) once tombstones dominate, so cancel-heavy
+  users of the public ``Event.cancel`` API cannot bloat the heap (the
+  in-tree hot paths avoid cancellation entirely — PeriodicProcess strands
+  stale ticks behind an epoch instead — so this is a robustness bound
+  for extension code, not a steady-state cost);
+* :meth:`Simulator.try_advance` is the express-path gate used by
+  :mod:`repro.noc.network`: it advances the clock inline when — and only
+  when — doing so is indistinguishable from dispatching a scheduled event.
 """
 
 import heapq
-import itertools
+from heapq import heappop, heappush
+
+#: Allocation shortcut for the inlined handle construction in
+#: :meth:`Simulator.schedule` (skips the ``Event.__init__`` call).
+_new_event = object.__new__
 
 
 class SimulationError(RuntimeError):
@@ -29,20 +62,37 @@ class Event:
     them only if it may need to :meth:`cancel` the event later (e.g. the
     Foraging-for-Work timeout that is reset whenever a packet is sunk
     locally).
+
+    The handle is *not* the heap entry: the queue orders plain tuples and
+    only carries the handle as payload, so comparisons never enter Python.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_queue")
 
-    def __init__(self, time, priority, seq, callback):
+    def __init__(self, time, priority, seq, callback, queue=None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self):
-        """Mark the event dead; the kernel will skip it when popped."""
-        self.cancelled = True
+        """Mark the event dead; the kernel will skip it when popped.
+
+        Cancellation is the cold path, so it also carries the compaction
+        trigger: once tombstones accumulate past the threshold the queue
+        rebuilds itself, keeping cancel-heavy callers from bloating the
+        heap without taxing every push.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                tombstones = queue._tombstones + 1
+                queue._tombstones = tombstones
+                if tombstones >= queue.COMPACT_MIN_TOMBSTONES:
+                    queue._compact()
 
     def __lt__(self, other):
         return (self.time, self.priority, self.seq) < (
@@ -59,39 +109,113 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap event queue with deterministic tie-breaking."""
+    """Binary-heap event queue with deterministic tie-breaking.
+
+    Entries are ``(time, priority, seq, handle, callback)`` tuples; the
+    ``handle`` slot is ``None`` for fire-and-forget callbacks scheduled
+    through the no-allocation fast path.
+    """
+
+    #: Compact only once at least this many tombstones have accumulated.
+    COMPACT_MIN_TOMBSTONES = 64
 
     def __init__(self):
         self._heap = []
-        self._counter = itertools.count()
+        self._seq = 0
+        self._tombstones = 0
 
     def __len__(self):
         return len(self._heap)
 
     def push(self, time, priority, callback):
         """Insert a callback and return its :class:`Event` handle."""
-        event = Event(time, priority, next(self._counter), callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, self)
+        heapq.heappush(self._heap, (time, priority, seq, event, callback))
         return event
+
+    def push_fast(self, time, priority, callback):
+        """Insert a non-cancellable callback without creating a handle."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, None, callback))
+
+    def push_many(self, entries, priority):
+        """Bulk-insert ``(time, callback)`` pairs; returns their handles.
+
+        Handles are created in iteration order, so same-time entries keep
+        their list order (FIFO), exactly as repeated :meth:`push` calls
+        would.  Large batches are appended and re-heapified in O(n)
+        instead of paying O(log n) per push.
+        """
+        heap = self._heap
+        handles = []
+        seq = self._seq
+        batch = []
+        for time, callback in entries:
+            event = Event(time, priority, seq, callback, self)
+            handles.append(event)
+            batch.append((time, priority, seq, event, callback))
+            seq += 1
+        self._seq = seq
+        if len(batch) * 8 >= len(heap):
+            heap.extend(batch)
+            heapq.heapify(heap)
+        else:
+            for entry in batch:
+                heapq.heappush(heap, entry)
+        return handles
 
     def pop(self):
         """Remove and return the earliest live event, or ``None`` if empty.
 
-        Tombstoned (cancelled) events are discarded silently.
+        Tombstoned (cancelled) events are discarded silently.  For entries
+        scheduled through the handle-less fast path an equivalent
+        :class:`Event` is synthesised so callers see a uniform interface.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            time, priority, seq, handle, callback = heapq.heappop(heap)
+            if handle is None:
+                return Event(time, priority, seq, callback)
+            if not handle.cancelled:
+                return handle
+            self._tombstones -= 1
         return None
 
     def peek_time(self):
         """Timestamp of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[3]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+                continue
+            return entry[0]
         return None
+
+    def _compact(self):
+        """Drop tombstoned entries and restore the heap invariant.
+
+        The cancellation counter can over-estimate (a handle cancelled
+        after its entry was already popped still increments it), so the
+        rebuild recomputes the truth: after compaction the heap holds live
+        entries only and the counter is zero.
+        """
+        heap = self._heap
+        if len(heap) >= 2 * self._tombstones:
+            # Mostly-live heap: a rebuild would not reclaim much yet.
+            return
+        heap[:] = [
+            entry
+            for entry in heap
+            if entry[3] is None or not entry[3].cancelled
+        ]
+        heapq.heapify(heap)
+        self._tombstones = 0
 
 
 class Simulator:
@@ -120,6 +244,7 @@ class Simulator:
         self.rng = RngStreams(seed)
         self._queue = EventQueue()
         self._running = False
+        self._horizon = -1
         self._dispatched = 0
 
     # -- scheduling -------------------------------------------------------
@@ -133,7 +258,21 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule {} us in the past".format(delay)
             )
-        return self._queue.push(self.now + int(delay), priority, callback)
+        # Inlined EventQueue.push — this is the hottest kernel entry
+        # point, so the handle is built without the __init__ call.
+        queue = self._queue
+        time = self.now + (delay if type(delay) is int else int(delay))
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = _new_event(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.callback = callback
+        event.cancelled = False
+        event._queue = queue
+        heappush(queue._heap, (time, priority, seq, event, callback))
+        return event
 
     def schedule_at(self, time, callback, priority=PRIORITY_NORMAL):
         """Schedule ``callback()`` at absolute time ``time`` µs."""
@@ -142,6 +281,65 @@ class Simulator:
                 "cannot schedule at t={} before now={}".format(time, self.now)
             )
         return self._queue.push(int(time), priority, callback)
+
+    def post(self, delay, callback, priority=PRIORITY_NORMAL):
+        """Fire-and-forget :meth:`schedule`: no handle, no cancellation.
+
+        Skips the :class:`Event` allocation, which measurably matters on
+        the per-hop and per-service hot paths.  Returns ``None``.
+        """
+        if delay < 0:
+            raise SimulationError(
+                "cannot schedule {} us in the past".format(delay)
+            )
+        queue = self._queue
+        time = self.now + (delay if type(delay) is int else int(delay))
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (time, priority, seq, None, callback))
+
+    def post_at(self, time, callback, priority=PRIORITY_NORMAL):
+        """Fire-and-forget :meth:`schedule_at`; returns ``None``."""
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule at t={} before now={}".format(time, self.now)
+            )
+        queue = self._queue
+        time = time if type(time) is int else int(time)
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(queue._heap, (time, priority, seq, None, callback))
+
+    def schedule_many(self, pairs, priority=PRIORITY_NORMAL):
+        """Bulk-schedule ``(delay, callback)`` pairs; returns handles.
+
+        Equivalent to ``[schedule(d, cb) for d, cb in pairs]`` — same-time
+        entries dispatch in list order — but inserts the whole batch at
+        once (heapify for large batches).  The relative-delay twin of
+        :meth:`schedule_many_at`, which multicast workload generation
+        uses to inject the sibling first hops of one fork instance.
+        """
+        now = self.now
+        entries = []
+        for delay, callback in pairs:
+            if delay < 0:
+                raise SimulationError(
+                    "cannot schedule {} us in the past".format(delay)
+                )
+            entries.append((now + int(delay), callback))
+        return self._queue.push_many(entries, priority)
+
+    def schedule_many_at(self, pairs, priority=PRIORITY_NORMAL):
+        """Bulk-schedule ``(time, callback)`` pairs at absolute times."""
+        now = self.now
+        entries = []
+        for time, callback in pairs:
+            if time < now:
+                raise SimulationError(
+                    "cannot schedule at t={} before now={}".format(time, now)
+                )
+            entries.append((int(time), callback))
+        return self._queue.push_many(entries, priority)
 
     # -- execution --------------------------------------------------------
 
@@ -155,17 +353,28 @@ class Simulator:
         if self._running:
             raise SimulationError("run_until re-entered")
         self._running = True
+        self._horizon = horizon
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        dispatched = 0
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > horizon:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > horizon:
                     break
-                event = self._queue.pop()
-                self.now = event.time
-                event.callback()
-                self._dispatched += 1
+                pop(heap)
+                handle = entry[3]
+                if handle is not None and handle.cancelled:
+                    queue._tombstones -= 1
+                    continue
+                self.now = time
+                entry[4]()
+                dispatched += 1
         finally:
             self._running = False
+            self._dispatched += dispatched
         if self.now < horizon:
             self.now = horizon
         return self._dispatched
@@ -179,6 +388,35 @@ class Simulator:
         event.callback()
         self._dispatched += 1
         return event
+
+    def try_advance(self, time):
+        """Express-path gate: advance the clock to ``time`` if that is
+        indistinguishable from dispatching an event scheduled there.
+
+        Returns True — with ``now`` advanced — only when a ``run_until``
+        loop is active, ``time`` is within its horizon, and no pending
+        event would dispatch at or before ``time``.  Under those conditions
+        executing work inline is bit-identical to scheduling it: the next
+        heap pop cannot observe an intermediate clock.  Callers must
+        re-invoke the gate after any side effects that may have scheduled
+        new events (see the hop walker in :mod:`repro.noc.network`).
+        """
+        if not self._running or time > self._horizon:
+            return False
+        queue = self._queue
+        heap = queue._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[3]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                queue._tombstones -= 1
+                continue
+            if entry[0] <= time:
+                return False
+            break
+        self.now = time
+        return True
 
     # -- introspection ----------------------------------------------------
 

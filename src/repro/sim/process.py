@@ -1,9 +1,17 @@
 """Recurring and delayed processes on top of the event kernel.
 
 :class:`PeriodicProcess` models things that tick at a fixed period — the
-task-1 packet sources (every 4 ms), the metric sampler (every 10 ms) and the
-thermal integrator.  It reschedules itself after each tick and can be stopped
-and restarted; restarting re-aligns the phase to "now + period".
+task-1 packet sources (every 4 ms), the AIM timer ticks (every 2 ms per
+node), the metric sampler (every 10 ms).  It reschedules itself after each
+tick and can be stopped and restarted; restarting re-aligns the phase to
+"now + period".
+
+Periodic ticks are the most numerous events in a platform run (128 AIMs
+ticking every 2 ms dwarf the packet traffic), so the tick train is built
+for the kernel's cheapest path: each ``start()`` creates one closure that
+re-posts itself through the handle-less :meth:`repro.sim.engine.Simulator.
+post`, and stopping is an epoch bump that strands the in-flight tick as a
+no-op instead of allocating and tombstoning cancellable events.
 """
 
 
@@ -38,28 +46,42 @@ class PeriodicProcess:
         )
         self.jitter_rng = jitter_rng
         self.jitter = int(jitter)
+        self._jittered = jitter_rng is not None and self.jitter > 0
         self.ticks = 0
-        self._event = None
+        #: Tick-train epoch: every start/stop invalidates the previous
+        #: train, so a stale posted tick returns without effect.
+        self._epoch = 0
         self._stopped = True
 
     # -- control -----------------------------------------------------------
 
     def start(self, initial_delay=None):
         """Begin ticking; first tick after ``initial_delay`` (default period)."""
-        self.stop()
         self._stopped = False
+        self._epoch = epoch = self._epoch + 1
+        sim = self.sim
+        priority = self.priority
+
+        def tick():
+            if epoch != self._epoch:
+                return  # stopped or restarted since this tick was posted
+            self.ticks += 1
+            self.callback(self)
+            if epoch != self._epoch:
+                return  # the callback stopped or restarted us
+            delay = self.period
+            if self._jittered:
+                delay += self.jitter_rng.randrange(0, self.jitter + 1)
+            sim.post(delay, tick, priority)
+
         delay = self.period if initial_delay is None else int(initial_delay)
-        self._event = self.sim.schedule(
-            delay + self._draw_jitter(), self._tick, priority=self.priority
-        )
+        sim.post(delay + self._draw_jitter(), tick, priority)
         return self
 
     def stop(self):
-        """Cancel any pending tick; safe to call repeatedly."""
+        """Invalidate any pending tick; safe to call repeatedly."""
         self._stopped = True
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._epoch += 1
 
     @property
     def running(self):
@@ -68,21 +90,9 @@ class PeriodicProcess:
     # -- internals ----------------------------------------------------------
 
     def _draw_jitter(self):
-        if self.jitter_rng is None or self.jitter <= 0:
+        if not self._jittered:
             return 0
         return self.jitter_rng.randrange(0, self.jitter + 1)
-
-    def _tick(self):
-        if self._stopped:
-            return
-        self.ticks += 1
-        self.callback(self)
-        if not self._stopped:
-            self._event = self.sim.schedule(
-                self.period + self._draw_jitter(),
-                self._tick,
-                priority=self.priority,
-            )
 
 
 def delayed_call(sim, delay, callback, priority=None):

@@ -1,0 +1,100 @@
+"""Express-path equivalence: fast and slow hop engines are bit-identical.
+
+The express engine (repro.noc.network) collapses multi-hop flights into
+single events, but only when the kernel's ``try_advance`` gate proves the
+inline execution indistinguishable from event dispatch.  These tests pin
+that guarantee across the whole model registry: every registered
+intelligence scheme, with and without fault injection, must produce the
+same scalar row, the same NoC counters and the same application statistics
+with ``fast_path`` on and off.
+"""
+
+import pytest
+
+from repro.core.models.registry import MODEL_REGISTRY
+from repro.experiments.runner import run_single
+from repro.platform.config import PlatformConfig
+
+#: Shortened small-platform run: long enough to settle, inject faults and
+#: recover, short enough to keep the full model × seed matrix cheap.
+_KWARGS = dict(
+    width=4,
+    height=4,
+    horizon_us=120_000,
+    fault_time_us=60_000,
+)
+
+
+def _pair(model, seed, faults, **config_kwargs):
+    base = dict(_KWARGS)
+    base.update(config_kwargs)
+    fast = run_single(
+        model, seed, faults=faults,
+        config=PlatformConfig(fast_path=True, **base), keep_series=False,
+    )
+    slow = run_single(
+        model, seed, faults=faults,
+        config=PlatformConfig(fast_path=False, **base), keep_series=False,
+    )
+    return fast, slow
+
+
+def _assert_identical(fast, slow):
+    assert fast.as_row() == slow.as_row()
+    assert fast.noc_stats == slow.noc_stats
+    assert fast.app_stats == slow.app_stats
+
+
+@pytest.mark.parametrize("model", sorted(MODEL_REGISTRY))
+@pytest.mark.parametrize("seed", [11, 12])
+def test_fast_path_identical_without_faults(model, seed):
+    fast, slow = _pair(model, seed, faults=0)
+    _assert_identical(fast, slow)
+
+
+@pytest.mark.parametrize("model", sorted(MODEL_REGISTRY))
+@pytest.mark.parametrize("seed", [11])
+def test_fast_path_identical_with_faults(model, seed):
+    fast, slow = _pair(model, seed, faults=5)
+    _assert_identical(fast, slow)
+
+
+def test_fast_path_identical_adaptive_routing():
+    """The §V adaptive output-port extension stays deterministic too."""
+    fast, slow = _pair(
+        "foraging_for_work", 13, faults=3, routing_mode="adaptive"
+    )
+    _assert_identical(fast, slow)
+
+
+def test_fast_path_identical_multicast_fork():
+    """Multicast fork dispatch (bulk first-hop insertion) stays identical."""
+    fast, slow = _pair(
+        "network_interaction", 14, faults=2, multicast_fork=True
+    )
+    _assert_identical(fast, slow)
+
+
+def test_fast_path_actually_engages():
+    """Sanity: the express engine inlines hops on a fast-path run."""
+    from repro.platform.centurion import CenturionPlatform
+
+    platform = CenturionPlatform(
+        PlatformConfig(**_KWARGS), model_name="ffw", seed=11
+    )
+    platform.run()
+    assert platform.network.express_hops > 0
+    # Inlined hops are real hops: the stats counter includes them.
+    assert platform.network.stats["hops"] >= platform.network.express_hops
+
+
+def test_fast_path_off_never_inlines():
+    from repro.platform.centurion import CenturionPlatform
+
+    platform = CenturionPlatform(
+        PlatformConfig(fast_path=False, **_KWARGS),
+        model_name="ffw",
+        seed=11,
+    )
+    platform.run()
+    assert platform.network.express_hops == 0

@@ -59,6 +59,47 @@ class TestEventQueue:
         event.cancel()
         assert len(queue) == 2
 
+    def test_compaction_reclaims_tombstone_heavy_heap(self):
+        queue = EventQueue()
+        doomed = [
+            queue.push(t, 10, None)
+            for t in range(2 * EventQueue.COMPACT_MIN_TOMBSTONES)
+        ]
+        survivors = [queue.push(10_000 + t, 10, None) for t in range(5)]
+        for event in doomed:
+            event.cancel()
+        # The cancellation burst crossed the threshold on a mostly-dead
+        # heap, so a rebuild fired mid-burst: the heap stays bounded well
+        # below the full push count instead of accumulating every corpse.
+        assert len(queue) < len(doomed) + len(survivors)
+        assert len(queue) <= 2 * (queue._tombstones + len(survivors))
+        assert [queue.pop() for _ in range(5)] == survivors
+        assert queue.pop() is None
+
+    def test_compaction_waits_while_heap_is_mostly_live(self):
+        queue = EventQueue()
+        doomed = [
+            queue.push(t, 10, None)
+            for t in range(EventQueue.COMPACT_MIN_TOMBSTONES)
+        ]
+        live = [
+            queue.push(10_000 + t, 10, None)
+            for t in range(3 * EventQueue.COMPACT_MIN_TOMBSTONES)
+        ]
+        for event in doomed:
+            event.cancel()
+        # Tombstones are above the count threshold but under half the
+        # heap: the rebuild is deferred, entries stay put.
+        assert len(queue) == len(doomed) + len(live)
+        assert queue.pop() is live[0]
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1, 10, None)
+        event.cancel()
+        event.cancel()
+        assert queue._tombstones == 1
+
 
 class TestSimulator:
     def test_clock_starts_at_zero(self, sim):
@@ -160,3 +201,129 @@ class TestSimulator:
         assert seen == [1]
         sim.run_until(40)
         assert seen == [1, 2]
+
+
+class TestBulkAndFastScheduling:
+    def test_schedule_many_preserves_list_order_on_ties(self, sim):
+        order = []
+        sim.schedule_many(
+            [(5, lambda i=i: order.append(i)) for i in range(6)]
+        )
+        sim.run_until(10)
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_schedule_many_interleaves_with_single_schedules(self, sim):
+        order = []
+        sim.schedule(5, lambda: order.append("single-first"))
+        sim.schedule_many(
+            [
+                (5, lambda: order.append("bulk-a")),
+                (3, lambda: order.append("early")),
+                (5, lambda: order.append("bulk-b")),
+            ]
+        )
+        sim.schedule(5, lambda: order.append("single-last"))
+        sim.run_until(10)
+        assert order == [
+            "early", "single-first", "bulk-a", "bulk-b", "single-last",
+        ]
+
+    def test_schedule_many_large_batch_heapify_path(self, sim):
+        # Batch much larger than the existing heap exercises the O(n)
+        # heapify branch; dispatch order must still be (time, seq).
+        seen = []
+        sim.schedule(2, lambda: seen.append(-1))
+        pairs = [
+            (1000 - i, lambda i=i: seen.append(i)) for i in range(200)
+        ]
+        handles = sim.schedule_many(pairs)
+        assert len(handles) == 200
+        sim.run_until(2000)
+        assert seen == [-1] + list(range(199, -1, -1))
+
+    def test_schedule_many_handles_cancel(self, sim):
+        seen = []
+        handles = sim.schedule_many(
+            [(4, lambda: seen.append("a")), (5, lambda: seen.append("b"))]
+        )
+        handles[1].cancel()
+        sim.run_until(10)
+        assert seen == ["a"]
+
+    def test_schedule_many_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(1, lambda: None), (-2, lambda: None)])
+
+    def test_schedule_many_at_absolute_times(self, sim):
+        order = []
+        sim.schedule_many_at(
+            [(7, lambda: order.append("b")), (3, lambda: order.append("a"))]
+        )
+        sim.run_until(10)
+        assert order == ["a", "b"]
+
+    def test_schedule_many_at_rejects_past(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run_until(10)
+        with pytest.raises(SimulationError):
+            sim.schedule_many_at([(5, lambda: None)])
+
+    def test_post_fires_without_handle(self, sim):
+        seen = []
+        assert sim.post(5, lambda: seen.append(sim.now)) is None
+        sim.run_until(10)
+        assert seen == [5]
+
+    def test_post_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.post(-1, lambda: None)
+
+
+class TestTryAdvance:
+    def test_requires_active_run(self, sim):
+        assert sim.try_advance(5) is False
+
+    def test_advances_when_nothing_pending_before(self, sim):
+        observed = []
+
+        def probe():
+            observed.append(sim.try_advance(50))
+            observed.append(sim.now)
+
+        sim.schedule(10, probe)
+        sim.run_until(100)
+        assert observed == [True, 50]
+
+    def test_blocked_by_earlier_pending_event(self, sim):
+        observed = []
+
+        def probe():
+            observed.append(sim.try_advance(50))
+            observed.append(sim.now)
+
+        sim.schedule(10, probe)
+        sim.schedule(30, lambda: None)
+        sim.run_until(100)
+        assert observed == [False, 10]
+
+    def test_blocked_by_same_time_pending_event(self, sim):
+        observed = []
+        sim.schedule(10, lambda: observed.append(sim.try_advance(50)))
+        sim.schedule(50, lambda: None)
+        sim.run_until(100)
+        assert observed == [False]
+
+    def test_cancelled_head_does_not_block(self, sim):
+        observed = []
+        sim.schedule(10, lambda: observed.append(sim.try_advance(50)))
+        blocker = sim.schedule(30, lambda: None)
+        blocker.cancel()
+        sim.run_until(100)
+        assert observed == [True]
+
+    def test_blocked_beyond_horizon(self, sim):
+        observed = []
+        sim.schedule(10, lambda: observed.append(sim.try_advance(150)))
+        sim.run_until(100)
+        assert observed == [False]
+        assert sim.now == 100
