@@ -13,4 +13,10 @@ bench:
 bench-baseline:
 	$(PYTHON) -m benchmarks.harness --micro --update-baseline
 
-.PHONY: test bench bench-baseline
+# Campaign store gate: run a 2-model x 2-seed campaign cold then resumed;
+# fails unless the resumed pass executes zero simulations and reproduces
+# the cold rows bit-identically.
+campaign-smoke:
+	$(PYTHON) -m benchmarks.harness --campaign-smoke
+
+.PHONY: test bench bench-baseline campaign-smoke

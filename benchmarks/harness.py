@@ -17,6 +17,15 @@ the medians to ``BENCH_micro.json`` at the repo root, and exits non-zero
 when ``test_small_platform_run`` has regressed more than 25 % against the
 checked-in baseline.  ``--update-baseline`` refreshes the checked-in
 numbers after an intentional change; ``make bench`` is the shorthand.
+
+Campaign smoke gate
+-------------------
+``python -m benchmarks.harness --campaign-smoke`` (``make
+campaign-smoke``) runs a 2-model × 2-seed campaign twice into a
+temporary store — cold, then resumed — and exits non-zero unless the
+resumed pass executes **zero** simulations and reproduces the cold rows
+bit-identically.  Combined with ``--micro``, its numbers join the
+printed report and the baseline record.
 """
 
 import argparse
@@ -34,13 +43,8 @@ _SRC = os.path.join(_REPO_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.campaign.paper import MODELS, TABLE2_FAULTS
 from repro.experiments.runner import default_seeds, run_batch
-
-#: Paper model set, in table order.
-MODELS = ("none", "network_interaction", "foraging_for_work")
-
-#: Paper fault counts for Table II.
-TABLE2_FAULTS = (0, 2, 4, 8, 16, 32)
 
 #: Repo root (this file lives in benchmarks/).
 REPO_ROOT = _REPO_ROOT
@@ -80,6 +84,58 @@ def gather_faulted(config, fault_counts=TABLE2_FAULTS, runs=None):
                 model, seeds, faults=faults, config=config
             )
     return results
+
+
+def run_campaign_smoke(models=("none", "foraging_for_work"), seeds=2,
+                       processes=0):
+    """Cold-then-resumed smoke campaign; returns the gate's evidence.
+
+    Runs a ``len(models)`` × ``seeds`` zero-fault campaign twice against
+    one temporary store and reports both passes: the resumed pass must
+    hit the store for every cell (``warm_executed == 0``) and yield
+    bit-identical rows.
+    """
+    import shutil
+
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec
+    from repro.platform.config import PlatformConfig
+
+    spec = CampaignSpec(
+        name="campaign-smoke",
+        models=tuple(models),
+        seeds=tuple(default_seeds(seeds, base=seed_base())),
+        fault_counts=(0,),
+        config=PlatformConfig.small(),
+    )
+    store = tempfile.mkdtemp(prefix="campaign-smoke-")
+    try:
+        cold = run_campaign(spec, store=store, processes=processes)
+        warm = run_campaign(spec, store=store, processes=processes)
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    return {
+        "cells": spec.size(),
+        "cold_s": cold.elapsed_s,
+        "cold_executed": cold.executed,
+        "warm_s": warm.elapsed_s,
+        "warm_executed": warm.executed,
+        "warm_cached": warm.cached,
+        "identical": [r.as_row() for r in warm.results]
+        == [r.as_row() for r in cold.results],
+    }
+
+
+def check_campaign_smoke(smoke):
+    """Failure message for a smoke report, or ``None`` when it passed."""
+    if smoke["warm_executed"] != 0:
+        return (
+            "campaign-smoke: resumed pass re-executed {} of {} cells "
+            "(expected 0)".format(smoke["warm_executed"], smoke["cells"])
+        )
+    if not smoke["identical"]:
+        return "campaign-smoke: resumed rows differ from the cold pass"
+    return None
 
 
 # -- perf-gate CLI -----------------------------------------------------------
@@ -190,9 +246,32 @@ def main(argv=None):
         "--update-baseline", action="store_true",
         help="rewrite BENCH_micro.json with this run's numbers",
     )
+    parser.add_argument(
+        "--campaign-smoke", action="store_true",
+        help="run the cold/resumed campaign store gate "
+             "(resumed pass must execute zero simulations)",
+    )
     args = parser.parse_args(argv)
-    if not args.micro:
-        parser.error("nothing to do (pass --micro)")
+    if not args.micro and not args.campaign_smoke:
+        parser.error("nothing to do (pass --micro and/or --campaign-smoke)")
+
+    smoke = None
+    if args.campaign_smoke:
+        smoke = run_campaign_smoke()
+        print("campaign smoke ({} cells, small platform):".format(
+            smoke["cells"]))
+        print("  {:<36} {:>10.6f} s ({} executed)".format(
+            "cold pass", smoke["cold_s"], smoke["cold_executed"]))
+        print("  {:<36} {:>10.6f} s ({} executed, {} cached)".format(
+            "resumed pass", smoke["warm_s"], smoke["warm_executed"],
+            smoke["warm_cached"]))
+        failure = check_campaign_smoke(smoke)
+        if failure is not None:
+            print("\nCAMPAIGN SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  resumed pass hit the store for every cell — ok")
+        if not args.micro:
+            return 0
 
     medians = run_micro_benchmarks()
     sweep_seconds = run_short_sweep()
@@ -211,6 +290,8 @@ def main(argv=None):
         "gated_benchmark": GATED_BENCHMARK,
         "regression_tolerance": REGRESSION_TOLERANCE,
     }
+    if smoke is not None:
+        result["campaign_smoke"] = smoke
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

@@ -20,6 +20,7 @@ from repro.platform.centurion import CenturionPlatform
 from repro.platform.config import PlatformConfig
 from repro.core.models import MODEL_REGISTRY, create_model
 from repro.experiments.runner import run_batch, run_single
+from repro.campaign import CampaignSpec, run_campaign
 
 __version__ = "1.0.0"
 
@@ -30,5 +31,7 @@ __all__ = [
     "create_model",
     "run_single",
     "run_batch",
+    "CampaignSpec",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,60 @@
+"""Campaign engine: declarative sweeps with a persistent result store.
+
+The paper's artefacts (Tables I/II, Figure 4) are grids of
+model × seed × fault-count simulations.  This package names such grids
+*declaratively*, caches every completed cell on disk, and fans the
+remaining cells out across worker processes:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` describes a sweep
+  (models, seeds, fault counts, config overrides) and expands it into
+  :class:`RunDescriptor` cells, each with a stable content-hash key;
+* :mod:`repro.campaign.store` — :class:`ResultStore` persists finished
+  cells as JSONL keyed by that hash, so re-running a campaign skips
+  completed work and an interrupted sweep resumes where it stopped;
+* :mod:`repro.campaign.executor` — :func:`run_campaign` shards pending
+  cells across a multiprocessing pool (chunked ``imap``, ordered
+  collection, per-cell error context, progress reporting);
+* :mod:`repro.campaign.paper` — the three canonical paper campaigns and
+  the grouping that turns a finished campaign back into table rows or
+  Figure 4 panels.
+
+Store layout
+------------
+A campaign directory holds two files:
+
+* ``spec.json`` — provenance: the expanded spec that last wrote here;
+* ``results.jsonl`` — one JSON record per completed cell, appended as
+  cells finish (the checkpoint stream).  Each record carries the cell
+  key, the ``(model, seed, faults)`` cell coordinates, the scalar row,
+  the application/NoC statistics and (when requested) the full metrics
+  series.  On load, the last record per key wins, so a crashed append
+  at worst loses its own line.
+
+Hash-key stability contract
+---------------------------
+A cell key is the SHA-256 of the canonical JSON (sorted keys, no
+whitespace) of ``{schema, model, seed, faults, metric, config}`` where
+``model`` is the *resolved* registry name (aliases like ``ffw`` hash
+identically to ``foraging_for_work``) and ``config`` is the full
+:class:`~repro.platform.config.PlatformConfig` field dict.  Keys are
+therefore stable across processes, platforms and campaign orderings —
+but *not* across config-schema changes: adding a field to
+``PlatformConfig`` changes every key, which is intended (stale results
+are never reused against a config they did not describe).  Bump
+``spec.HASH_SCHEMA_VERSION`` to force invalidation by hand.
+``keep_series`` is deliberately excluded from the key — it changes what
+is recorded, not what is simulated; a cached cell without a series is
+treated as a miss when the campaign asks for series.
+"""
+
+from repro.campaign.executor import CampaignReport, run_campaign
+from repro.campaign.spec import CampaignSpec, RunDescriptor
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "ResultStore",
+    "RunDescriptor",
+    "run_campaign",
+]

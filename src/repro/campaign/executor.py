@@ -1,0 +1,122 @@
+"""Sharded campaign executor with checkpoint/resume.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.spec.CampaignSpec`,
+splits the grid into cells already present in the store and cells still
+pending, streams the pending ones through
+:func:`repro.experiments.runner.iter_runs` (chunked ``imap`` over a
+multiprocessing pool, ordered collection, failures wrapped with their
+``(model, seed, faults)`` context), and checkpoints each finished cell to
+the store *as it completes* — killing a sweep and re-running it resumes
+exactly where it stopped.
+"""
+
+import dataclasses
+import time
+
+from repro.campaign.store import ResultStore
+from repro.experiments.runner import iter_runs
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """A finished campaign: cells, results (same order), and counters."""
+
+    spec: object
+    descriptors: list
+    results: list
+    executed: int
+    cached: int
+    elapsed_s: float
+    store_dir: str = None
+
+    def pairs(self):
+        """``(descriptor, result)`` tuples in grid order."""
+        return list(zip(self.descriptors, self.results))
+
+    def summary(self):
+        """One-line human summary (what the CLI prints at the end)."""
+        return (
+            "campaign {}: {} cells ({} executed, {} cached) in {:.2f}s"
+            .format(
+                getattr(self.spec, "name", "?"),
+                len(self.descriptors),
+                self.executed,
+                self.cached,
+                self.elapsed_s,
+            )
+        )
+
+
+def run_campaign(spec, store=None, processes=None, progress=None,
+                 use_cache=True):
+    """Run every cell of ``spec``; return a :class:`CampaignReport`.
+
+    Parameters
+    ----------
+    store:
+        ``None`` (in-memory, no persistence), a directory path, or an
+        open :class:`~repro.campaign.store.ResultStore`.  With a store,
+        cached cells are skipped and fresh cells are checkpointed as
+        they finish.
+    processes:
+        ``None``/0/1 sequential; larger values shard pending cells
+        across a pool.  (CLI callers default this to
+        :func:`~repro.experiments.runner.default_processes`.)
+    progress:
+        Optional callable ``progress(done, total, cached)`` invoked
+        after every cell (cached cells are reported up front).
+    use_cache:
+        ``False`` recomputes every cell even when the store already
+        holds it (the fresh result overwrites the record).
+    """
+    started = time.perf_counter()
+    descriptors = spec.expand()
+    total = len(descriptors)
+    owns_store = isinstance(store, str)
+    if owns_store:
+        store = ResultStore(store)
+    try:
+        if store is not None:
+            store.write_spec(spec)
+        # Hash each cell once: the key covers the full config dict, so
+        # recomputing it per lookup would dominate the cached fast path.
+        keys = [descriptor.key() for descriptor in descriptors]
+        results_by_key = {}
+        pending = []
+        if store is not None and use_cache:
+            for descriptor, key in zip(descriptors, keys):
+                if store.has_result(descriptor, key=key):
+                    results_by_key[key] = store.load_result(
+                        descriptor, key=key
+                    )
+                else:
+                    pending.append((descriptor, key))
+        else:
+            pending = list(zip(descriptors, keys))
+        cached = total - len(pending)
+        done = cached
+        if progress is not None and cached:
+            progress(done, total, cached)
+        for (descriptor, key), result in zip(
+            pending,
+            iter_runs([d.job() for d, _k in pending], processes=processes),
+        ):
+            if store is not None:
+                store.save_result(descriptor, result, key=key)
+            results_by_key[key] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, cached)
+        results = [results_by_key[key] for key in keys]
+    finally:
+        if owns_store:
+            store.close()
+    return CampaignReport(
+        spec=spec,
+        descriptors=descriptors,
+        results=results,
+        executed=len(pending),
+        cached=cached,
+        elapsed_s=time.perf_counter() - started,
+        store_dir=store.directory if store is not None else None,
+    )

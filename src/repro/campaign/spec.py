@@ -1,0 +1,223 @@
+"""Declarative campaign specifications and their content-hash keys.
+
+A :class:`CampaignSpec` names a sweep — models × seeds × fault counts
+over one platform configuration — and expands it into
+:class:`RunDescriptor` cells.  Each descriptor hashes to a stable key
+(see the package docstring for the stability contract); the store and
+executor never look at anything else.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+from repro.core.models.registry import resolve_model_name
+from repro.experiments.runner import DEFAULT_METRIC, default_seeds
+from repro.platform.config import PlatformConfig
+
+#: Bump to invalidate every stored result by hand (schema field of the
+#: key payload); config-schema changes already invalidate implicitly.
+HASH_SCHEMA_VERSION = 1
+
+#: Rendering hints understood by :func:`repro.campaign.paper.artifact`.
+KINDS = ("grid", "table1", "table2", "figure4")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunDescriptor:
+    """One campaign cell: a fully specified ``run_single`` invocation."""
+
+    model: str
+    seed: int
+    faults: int
+    config: PlatformConfig
+    metric: str = DEFAULT_METRIC
+    keep_series: bool = False
+
+    def cell(self):
+        """The human-facing coordinates ``(model, seed, faults)``."""
+        return (self.model, self.seed, self.faults)
+
+    def key(self):
+        """Stable SHA-256 content hash identifying this simulation."""
+        payload = {
+            "schema": HASH_SCHEMA_VERSION,
+            "model": resolve_model_name(self.model),
+            "seed": self.seed,
+            "faults": self.faults,
+            "metric": self.metric,
+            "config": dataclasses.asdict(self.config),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def job(self):
+        """The ``repro.experiments.runner`` job tuple for this cell."""
+        return (
+            self.model,
+            self.seed,
+            self.faults,
+            self.config,
+            self.metric,
+            self.keep_series,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep grid, JSON-loadable via :meth:`from_dict`."""
+
+    name: str
+    models: tuple
+    seeds: tuple
+    fault_counts: tuple = (0,)
+    config: PlatformConfig = PlatformConfig()
+    metric: str = DEFAULT_METRIC
+    keep_series: bool = False
+    #: Rendering hint: how :mod:`repro.campaign.paper` turns the finished
+    #: grid back into an artefact ("grid" returns plain rows).
+    kind: str = "grid"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "models",
+            tuple(resolve_model_name(m) for m in self.models),
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(
+            self, "fault_counts", tuple(int(f) for f in self.fault_counts)
+        )
+        if not self.name:
+            raise ValueError("campaign needs a name")
+        if not self.models or not self.seeds or not self.fault_counts:
+            raise ValueError("campaign grid must be non-empty")
+        for field, values in (
+            ("models", self.models),
+            ("seeds", self.seeds),
+            ("fault_counts", self.fault_counts),
+        ):
+            if len(set(values)) != len(values):
+                raise ValueError("duplicate entries in {}".format(field))
+        if self.kind not in KINDS:
+            raise ValueError(
+                "unknown campaign kind {!r}; known: {}".format(
+                    self.kind, KINDS
+                )
+            )
+        # Validate kind-specific grid requirements up front, before any
+        # simulation time is spent on a sweep whose artefact cannot be
+        # assembled afterwards.
+        if self.kind == "figure4" and not self.keep_series:
+            # The panels are the series; a figure4 campaign implies it.
+            object.__setattr__(self, "keep_series", True)
+        if self.kind in ("table1", "table2"):
+            if "none" not in self.models:
+                raise ValueError(
+                    "{} campaigns need the 'none' model (the "
+                    "normalisation baseline)".format(self.kind)
+                )
+            if 0 not in self.fault_counts:
+                raise ValueError(
+                    "{} campaigns need fault count 0 (the "
+                    "normalisation reference)".format(self.kind)
+                )
+
+    def expand(self):
+        """The cell grid, model-major then faults then seeds.
+
+        The order is stable and documented because it decides *resume*
+        order (which cells a partial store already holds); results are
+        per-cell deterministic regardless of execution order.
+        """
+        return [
+            RunDescriptor(
+                model=model,
+                seed=seed,
+                faults=faults,
+                config=self.config,
+                metric=self.metric,
+                keep_series=self.keep_series,
+            )
+            for model in self.models
+            for faults in self.fault_counts
+            for seed in self.seeds
+        ]
+
+    def size(self):
+        """Number of cells in the grid."""
+        return len(self.models) * len(self.seeds) * len(self.fault_counts)
+
+    def to_dict(self):
+        """JSON-friendly dict; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "models": list(self.models),
+            "seeds": list(self.seeds),
+            "fault_counts": list(self.fault_counts),
+            "config": dataclasses.asdict(self.config),
+            "metric": self.metric,
+            "keep_series": self.keep_series,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a spec from a plain dict (e.g. a loaded JSON file).
+
+        Accepted keys mirror the constructor, plus conveniences:
+        ``runs``/``seed_base`` generate the seed list when ``seeds`` is
+        absent, ``faults`` is an alias for ``fault_counts``, and
+        ``base: "small"`` starts config overrides from
+        :meth:`PlatformConfig.small` instead of the full platform.
+        """
+        data = dict(data)
+        name = data.pop("name", None)
+        if not name:
+            raise ValueError("campaign spec needs a 'name'")
+        models = data.pop("models", None)
+        if not models:
+            raise ValueError("campaign spec needs 'models'")
+        seeds = data.pop("seeds", None)
+        runs = data.pop("runs", None)
+        seed_base = data.pop("seed_base", 1000)
+        if seeds is None:
+            if runs is None:
+                raise ValueError("campaign spec needs 'seeds' or 'runs'")
+            seeds = default_seeds(int(runs), base=int(seed_base))
+        if "fault_counts" in data and "faults" in data:
+            raise ValueError(
+                "give either 'fault_counts' or its alias 'faults', not both"
+            )
+        fault_counts = data.pop("fault_counts", None)
+        if fault_counts is None:
+            fault_counts = data.pop("faults", (0,))
+        overrides = data.pop("config", {}) or {}
+        base = data.pop("base", "default")
+        if base == "small":
+            config = PlatformConfig.small(**overrides)
+        elif base == "default":
+            config = PlatformConfig(**overrides)
+        else:
+            raise ValueError("unknown config base {!r}".format(base))
+        spec = cls(
+            name=name,
+            models=tuple(models),
+            seeds=tuple(seeds),
+            fault_counts=tuple(fault_counts),
+            config=config,
+            metric=data.pop("metric", DEFAULT_METRIC),
+            keep_series=bool(data.pop("keep_series", False)),
+            kind=data.pop("kind", "grid"),
+        )
+        if data:
+            raise ValueError(
+                "unknown campaign spec keys: {}".format(sorted(data))
+            )
+        return spec
+
+    @classmethod
+    def from_json_file(cls, path):
+        """Load a spec from a JSON file."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

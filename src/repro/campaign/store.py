@@ -1,0 +1,198 @@
+"""Persistent campaign result store (append-only JSONL).
+
+One :class:`ResultStore` wraps a campaign directory.  Finished cells are
+appended to ``results.jsonl`` as they complete — the checkpoint stream —
+and loaded back into memory on open (last record per key wins, so a
+truncated final line from a crash costs only itself).  Records are keyed
+by :meth:`RunDescriptor.key`; see the package docstring for the
+stability contract.
+"""
+
+import json
+import os
+
+from repro.experiments.runner import RunResult
+
+RESULTS_FILE = "results.jsonl"
+SPEC_FILE = "spec.json"
+
+
+class StoredSeries:
+    """Attribute view over a JSON-decoded metrics series.
+
+    Exposes the same read surface the figures use on a live
+    :class:`~repro.app.metrics.MetricsSeries`: the column attributes,
+    ``census``, ``task_ids``, ``len()`` and ``as_dict()``.
+    """
+
+    def __init__(self, data):
+        self._data = {
+            key: value for key, value in data.items() if key != "census"
+        }
+        for key, value in self._data.items():
+            setattr(self, key, value)
+        self.census = _int_keys(data.get("census", {}))
+        self.task_ids = tuple(sorted(self.census))
+
+    def __len__(self):
+        return len(getattr(self, "time_ms", ()))
+
+    def as_dict(self):
+        """Plain-dict export, mirroring ``MetricsSeries.as_dict``."""
+        data = dict(self._data)
+        data["census"] = {tid: list(v) for tid, v in self.census.items()}
+        return data
+
+
+def _int_keys(mapping):
+    """Undo JSON's str-keying of int-keyed dicts (census, per-task stats)."""
+    restored = {}
+    for key, value in mapping.items():
+        if isinstance(key, str):
+            try:
+                key = int(key)
+            except ValueError:
+                pass
+        restored[key] = value
+    return restored
+
+
+def encode_result(descriptor, result, key=None):
+    """JSON-friendly record for one finished cell."""
+    return {
+        "key": key if key is not None else descriptor.key(),
+        "model": result.model,
+        "seed": result.seed,
+        "faults": result.faults,
+        "row": result.as_row(),
+        "app_stats": result.app_stats,
+        "noc_stats": result.noc_stats,
+        "total_switches": result.total_switches,
+        "series": (
+            result.series.as_dict() if result.series is not None else None
+        ),
+    }
+
+
+def decode_result(record):
+    """Rebuild a :class:`RunResult` from a stored record.
+
+    Scalar row fields are restored verbatim (JSON round-trips Python
+    ints and floats exactly), so table rows built from cached cells are
+    bit-identical to freshly computed ones.
+    """
+    row = record["row"]
+    app_stats = dict(record["app_stats"])
+    if "executions_by_task" in app_stats:
+        app_stats["executions_by_task"] = _int_keys(
+            app_stats["executions_by_task"]
+        )
+    series = record.get("series")
+    return RunResult(
+        model=row["model"],
+        seed=row["seed"],
+        faults=row["faults"],
+        settling_time_ms=row["settling_time_ms"],
+        settled_performance=row["settled_performance"],
+        recovery_time_ms=row["recovery_time_ms"],
+        recovered_performance=row["recovered_performance"],
+        series=StoredSeries(series) if series is not None else None,
+        app_stats=app_stats,
+        noc_stats=dict(record["noc_stats"]),
+        total_switches=row["total_switches"],
+    )
+
+
+class ResultStore:
+    """Keyed, append-only store of finished campaign cells."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, RESULTS_FILE)
+        self._records = {}
+        self._handle = None
+        self._load()
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn final line from an interrupted append
+                key = record.get("key")
+                if key:
+                    self._records[key] = record
+
+    def __len__(self):
+        return len(self._records)
+
+    def __contains__(self, key):
+        return key in self._records
+
+    def keys(self):
+        """The stored cell keys."""
+        return self._records.keys()
+
+    def get(self, key):
+        """The raw stored record for ``key`` (or None)."""
+        return self._records.get(key)
+
+    def has_result(self, descriptor, key=None):
+        """True when a usable cached result exists for ``descriptor``.
+
+        A record without a series does not satisfy a descriptor that
+        asks for one (``keep_series`` is not part of the key).  Pass a
+        precomputed ``key`` to skip re-hashing the descriptor.
+        """
+        record = self._records.get(
+            key if key is not None else descriptor.key()
+        )
+        if record is None:
+            return False
+        if descriptor.keep_series and record.get("series") is None:
+            return False
+        return True
+
+    def load_result(self, descriptor, key=None):
+        """The cached :class:`RunResult` for ``descriptor``."""
+        return decode_result(
+            self._records[key if key is not None else descriptor.key()]
+        )
+
+    def save_result(self, descriptor, result, key=None):
+        """Append one finished cell and flush (the resume checkpoint)."""
+        record = encode_result(descriptor, result, key=key)
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+        self._handle.flush()
+        self._records[record["key"]] = record
+        return record
+
+    def write_spec(self, spec):
+        """Record provenance: the spec that last wrote to this store."""
+        with open(os.path.join(self.directory, SPEC_FILE), "w") as handle:
+            json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def close(self):
+        """Close the append handle (records stay loaded)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

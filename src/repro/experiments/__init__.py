@@ -5,7 +5,12 @@ recovery-time detection, quartile statistics, and re-generators for Table I,
 Table II and Figure 4.
 """
 
-from repro.experiments.runner import RunResult, run_batch, run_single
+from repro.experiments.runner import (
+    RunError,
+    RunResult,
+    run_batch,
+    run_single,
+)
 from repro.experiments.settling import (
     recovery_analysis,
     settling_analysis,
@@ -20,6 +25,7 @@ from repro.experiments.tables import (
 from repro.experiments.figures import figure4, render_series
 
 __all__ = [
+    "RunError",
     "RunResult",
     "run_single",
     "run_batch",

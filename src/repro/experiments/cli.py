@@ -3,24 +3,53 @@
 Usage (after ``pip install -e .``):
 
     python -m repro.experiments.cli run --model ffw --seed 7 --faults 42
-    python -m repro.experiments.cli table1 --runs 20
-    python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32
+    python -m repro.experiments.cli table1 --runs 20 --processes 8
+    python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32 --resume
     python -m repro.experiments.cli figure4 --seed 42
+    python -m repro.experiments.cli campaign --paper table2 --dir campaigns/t2
+    python -m repro.experiments.cli campaign --spec sweep.json
 
-Each subcommand prints its artefact to stdout; ``--json FILE`` additionally
-dumps the raw rows/series for downstream plotting.
+The sweep subcommands are campaigns (:mod:`repro.campaign`): they shard
+cells across ``--processes`` workers (default: REPRO_PROCESSES env, then
+``os.cpu_count()``) and, given ``--resume [DIR]`` (or ``campaign``'s
+always-on store), checkpoint each finished cell so interrupted sweeps
+continue where they stopped and re-runs recompute nothing.  Each
+subcommand prints its artefact to stdout (progress goes to stderr);
+``--json FILE`` additionally dumps the raw rows/series for downstream
+plotting.
 """
 
 import argparse
 import json
+import os
 import sys
 
-from repro.experiments.figures import figure4, render_figure4
-from repro.experiments.runner import default_seeds, run_batch, run_single
-from repro.experiments.tables import format_table, table1, table2
+from repro.campaign import paper
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.figures import render_figure4
+from repro.experiments.runner import default_processes, run_single
+from repro.experiments.tables import format_table
 from repro.platform.config import PlatformConfig
 
-MODELS = ("none", "network_interaction", "foraging_for_work")
+MODELS = paper.MODELS
+
+#: Default parent directory for ``--resume`` stores.
+DEFAULT_CAMPAIGN_ROOT = "campaigns"
+
+
+def _add_sweep_arguments(parser, command):
+    parser.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_PROCESSES, then cpu count)",
+    )
+    parser.add_argument(
+        "--resume", nargs="?", metavar="DIR",
+        const=os.path.join(DEFAULT_CAMPAIGN_ROOT, command), default=None,
+        help="checkpoint per-run results under DIR (default {}/{}) and "
+             "skip cells already recorded there".format(
+                 DEFAULT_CAMPAIGN_ROOT, command),
+    )
 
 
 def build_parser():
@@ -37,21 +66,56 @@ def build_parser():
     run_p.add_argument("--faults", type=int, default=0)
     run_p.add_argument("--small", action="store_true",
                        help="4x4 grid instead of full Centurion")
+    run_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes for sweeps (a single run ignores this; "
+             "default: REPRO_PROCESSES, then cpu count)",
+    )
     run_p.add_argument("--json", metavar="FILE")
 
     t1_p = sub.add_parser("table1", help="settling/performance, no faults")
     t1_p.add_argument("--runs", type=int, default=15)
+    _add_sweep_arguments(t1_p, "table1")
     t1_p.add_argument("--json", metavar="FILE")
 
     t2_p = sub.add_parser("table2", help="recovery/performance vs faults")
     t2_p.add_argument("--runs", type=int, default=15)
     t2_p.add_argument("--faults", default="0,2,4,8,16,32",
                       help="comma-separated fault counts")
+    _add_sweep_arguments(t2_p, "table2")
     t2_p.add_argument("--json", metavar="FILE")
 
     f4_p = sub.add_parser("figure4", help="time-series panels")
     f4_p.add_argument("--seed", type=int, default=42)
+    _add_sweep_arguments(f4_p, "figure4")
     f4_p.add_argument("--json", metavar="FILE")
+
+    c_p = sub.add_parser(
+        "campaign", help="run a declarative sweep with a persistent store"
+    )
+    source = c_p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--spec", metavar="FILE",
+                        help="JSON CampaignSpec to run")
+    source.add_argument("--paper", choices=sorted(paper.PAPER_SPECS),
+                        help="run a canonical paper campaign")
+    c_p.add_argument("--runs", type=int, default=15,
+                     help="runs per cell for --paper table1/table2")
+    c_p.add_argument("--seed", type=int, default=42,
+                     help="seed for --paper figure4")
+    c_p.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="result store directory (default {}/<name>)".format(
+            DEFAULT_CAMPAIGN_ROOT),
+    )
+    c_p.add_argument(
+        "--fresh", action="store_true",
+        help="recompute every cell even when the store already has it",
+    )
+    c_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_PROCESSES, then cpu count)",
+    )
+    c_p.add_argument("--json", metavar="FILE")
 
     return parser
 
@@ -60,6 +124,41 @@ def _dump_json(path, payload):
     if path:
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, default=str)
+
+
+def _progress_printer(name, stream=sys.stderr):
+    """Per-cell progress reporter (stderr, so stdout stays the artefact)."""
+
+    def progress(done, total, cached):
+        step = max(1, total // 20)
+        if done == total or done % step == 0:
+            stream.write(
+                "\r{}: {}/{} cells ({} cached)".format(
+                    name, done, total, cached
+                )
+            )
+            if done == total:
+                stream.write("\n")
+            stream.flush()
+
+    return progress
+
+
+def _run_spec(spec, args, store=None):
+    """Execute ``spec`` honouring the shared sweep flags."""
+    processes = args.processes
+    if processes is None:
+        processes = default_processes()
+    store = store if store is not None else getattr(args, "resume", None)
+    report = run_campaign(
+        spec,
+        store=store,
+        processes=processes,
+        progress=_progress_printer(spec.name),
+        use_cache=not getattr(args, "fresh", False),
+    )
+    print(report.summary(), file=sys.stderr)
+    return report
 
 
 def cmd_run(args):
@@ -76,40 +175,30 @@ def cmd_run(args):
 
 
 def cmd_table1(args):
-    """``table1`` subcommand: regenerate Table I."""
-    config = PlatformConfig()
-    seeds = default_seeds(args.runs)
-    results = {
-        model: run_batch(model, seeds, config=config) for model in MODELS
-    }
-    rows = table1(results)
+    """``table1`` subcommand: regenerate Table I as a campaign."""
+    report = _run_spec(paper.table1_spec(runs=args.runs), args)
+    rows = paper.artifact(report)
     print(format_table(rows, "table1"))
     _dump_json(args.json, rows)
     return 0
 
 
 def cmd_table2(args):
-    """``table2`` subcommand: regenerate Table II."""
-    config = PlatformConfig()
-    seeds = default_seeds(args.runs)
+    """``table2`` subcommand: regenerate Table II as a campaign."""
     fault_counts = [int(f) for f in args.faults.split(",")]
-    if 0 not in fault_counts:
-        fault_counts = [0] + fault_counts  # normalisation reference
-    results = {}
-    for model in MODELS:
-        for faults in fault_counts:
-            results[(model, faults)] = run_batch(
-                model, seeds, faults=faults, config=config
-            )
-    rows = table2(results)
+    report = _run_spec(
+        paper.table2_spec(runs=args.runs, fault_counts=fault_counts), args
+    )
+    rows = paper.artifact(report)
     print(format_table(rows, "table2"))
     _dump_json(args.json, rows)
     return 0
 
 
 def cmd_figure4(args):
-    """``figure4`` subcommand: render the six panels."""
-    data = figure4(config=PlatformConfig(), seed=args.seed)
+    """``figure4`` subcommand: render the six panels as a campaign."""
+    report = _run_spec(paper.figure4_spec(seed=args.seed), args)
+    data = paper.artifact(report)
     print(render_figure4(data))
     _dump_json(
         args.json,
@@ -124,11 +213,45 @@ def cmd_figure4(args):
     return 0
 
 
+def cmd_campaign(args):
+    """``campaign`` subcommand: spec file or canonical paper campaign."""
+    if args.spec:
+        spec = CampaignSpec.from_json_file(args.spec)
+    elif args.paper in ("table1", "table2"):
+        spec = paper.PAPER_SPECS[args.paper](runs=args.runs)
+    else:
+        spec = paper.PAPER_SPECS[args.paper](seed=args.seed)
+    store = args.dir or os.path.join(DEFAULT_CAMPAIGN_ROOT, spec.name)
+    report = _run_spec(spec, args, store=store)
+    artefact = paper.artifact(report)
+    if spec.kind in ("table1", "table2"):
+        print(format_table(artefact, spec.kind))
+        _dump_json(args.json, artefact)
+    elif spec.kind == "figure4":
+        print(render_figure4(artefact))
+        _dump_json(
+            args.json,
+            {
+                str(faults): {
+                    model: result.series.as_dict()
+                    for model, result in by_model.items()
+                }
+                for faults, by_model in artefact.items()
+            },
+        )
+    else:
+        for row in artefact:
+            print(json.dumps(row, sort_keys=True))
+        _dump_json(args.json, artefact)
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "table1": cmd_table1,
     "table2": cmd_table2,
     "figure4": cmd_figure4,
+    "campaign": cmd_campaign,
 }
 
 

@@ -9,7 +9,7 @@ an ASCII strip chart so the benches can display the reproduced shapes in a
 terminal.
 """
 
-from repro.experiments.runner import run_single
+from repro.core.models.registry import resolve_model_name
 
 #: The paper's two fault scenarios for Figure 4.
 FIGURE4_FAULTS = (5, 42)
@@ -17,23 +17,32 @@ FIGURE4_MODELS = ("none", "network_interaction", "foraging_for_work")
 
 
 def figure4(config=None, seed=42, faults=FIGURE4_FAULTS,
-            models=FIGURE4_MODELS):
-    """Run the Figure 4 scenarios.
+            models=FIGURE4_MODELS, processes=None, store=None):
+    """Run the Figure 4 scenarios (as a campaign under the hood).
 
-    Returns ``{fault_count: {model: RunResult}}`` with full series kept.
+    Returns ``{fault_count: {model: RunResult}}`` with full series kept,
+    keyed by the model names *as passed* (aliases preserved).  ``store``
+    (a directory path) checkpoints the six runs and skips completed
+    ones on re-runs; ``processes`` fans them out across workers.
     """
-    data = {}
-    for fault_count in faults:
-        data[fault_count] = {}
-        for model in models:
-            data[fault_count][model] = run_single(
-                model,
-                seed=seed,
-                faults=fault_count,
-                config=config,
-                keep_series=True,
-            )
-    return data
+    # Imported lazily: repro.campaign.paper imports this module's
+    # constants at load time.
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.paper import figure4_data, figure4_spec
+
+    spec = figure4_spec(
+        seed=seed, config=config, faults=faults, models=models
+    )
+    report = run_campaign(spec, store=store, processes=processes)
+    canonical = figure4_data(report)
+    requested = {model: resolve_model_name(model) for model in models}
+    return {
+        fault_count: {
+            model: canonical[fault_count][requested[model]]
+            for model in models
+        }
+        for fault_count in faults
+    }
 
 
 def render_series(times_ms, values, height=8, width=72, title="",

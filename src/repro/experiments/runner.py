@@ -1,13 +1,16 @@
 """Run harness: single runs, seeded batches, and their analyses.
 
 ``run_single`` executes one Centurion simulation (model × seed × fault
-count) and extracts everything Tables I/II and Figure 4 need; ``run_batch``
-maps it over seeds, optionally across processes (each run is independent,
-so this parallelises embarrassingly).
+count) and extracts everything Tables I/II and Figure 4 need;
+``iter_runs`` streams job tuples through an optional multiprocessing
+pool (chunked ``imap``, ordered, failures wrapped with their cell
+context), and ``run_batch`` is the thin seed-sweep wrapper the campaign
+engine (:mod:`repro.campaign`) and the benches share.
 """
 
 import dataclasses
 import os
+import traceback
 
 from repro.experiments.settling import recovery_analysis, settling_analysis
 from repro.platform.centurion import CenturionPlatform
@@ -89,31 +92,103 @@ def run_single(model_name, seed, faults=0, config=None,
     )
 
 
-def _run_single_star(args):
-    return run_single(*args)
+class RunError(RuntimeError):
+    """A run failed; carries its ``(model, seed, faults)`` cell context.
+
+    Raised on the *collecting* side of a sweep, so a failing seed inside
+    a worker process reports which cell died instead of a bare pickled
+    traceback out of the pool.  ``details`` holds the worker's formatted
+    traceback.
+    """
+
+    def __init__(self, model, seed, faults, details):
+        super().__init__(
+            "run failed (model={!r}, seed={}, faults={}):\n{}".format(
+                model, seed, faults, details
+            )
+        )
+        self.model = model
+        self.seed = seed
+        self.faults = faults
+        self.details = details
+
+
+class _WorkerFailure:
+    """Picklable failure payload returned from a pool worker."""
+
+    __slots__ = ("model", "seed", "faults", "details")
+
+    def __init__(self, model, seed, faults, details):
+        self.model = model
+        self.seed = seed
+        self.faults = faults
+        self.details = details
+
+
+def _run_single_star(job):
+    try:
+        return run_single(*job)
+    except Exception:
+        return _WorkerFailure(job[0], job[1], job[2], traceback.format_exc())
+
+
+def _checked(outcome):
+    if isinstance(outcome, _WorkerFailure):
+        raise RunError(
+            outcome.model, outcome.seed, outcome.faults, outcome.details
+        )
+    return outcome
+
+
+def default_processes():
+    """Worker-count default: REPRO_PROCESSES env, then ``os.cpu_count``."""
+    env = os.environ.get("REPRO_PROCESSES")
+    if env:
+        return int(env)
+    return os.cpu_count() or 1
+
+
+def iter_runs(jobs, processes=None, chunksize=None):
+    """Yield ``run_single`` results for job tuples, in job order.
+
+    Each job is ``(model, seed, faults, config, metric, keep_series)``.
+    ``processes``: ``None``/0/1 runs sequentially; larger values shard
+    the jobs across a multiprocessing pool with chunked ``imap`` —
+    results stream back in order without materialising the whole sweep
+    in the pool at once, so callers can checkpoint as cells finish.
+    Failures surface as :class:`RunError` with the cell context.
+    """
+    if processes is None:
+        processes = int(os.environ.get("REPRO_PROCESSES", "0"))
+    jobs = list(jobs)
+    if processes and processes > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        if chunksize is None:
+            chunksize = max(1, min(16, len(jobs) // (processes * 4) or 1))
+        with multiprocessing.Pool(processes) as pool:
+            for outcome in pool.imap(_run_single_star, jobs,
+                                     chunksize=chunksize):
+                yield _checked(outcome)
+    else:
+        for job in jobs:
+            yield _checked(_run_single_star(job))
 
 
 def run_batch(model_name, seeds, faults=0, config=None,
               metric=DEFAULT_METRIC, processes=None, keep_series=False):
     """Independent runs over ``seeds``; returns a list of RunResults.
 
-    ``processes``: ``None``/0/1 runs sequentially; larger values use a
-    multiprocessing pool (each run is single-threaded and deterministic per
-    seed, so ordering is preserved by ``map``).  The REPRO_PROCESSES
-    environment variable supplies a default.
+    Thin compatibility wrapper over :func:`iter_runs` (each run is
+    single-threaded and deterministic per seed, so ordering is
+    preserved).  The REPRO_PROCESSES environment variable supplies the
+    ``processes`` default.
     """
-    if processes is None:
-        processes = int(os.environ.get("REPRO_PROCESSES", "0"))
     jobs = [
         (model_name, seed, faults, config, metric, keep_series)
         for seed in seeds
     ]
-    if processes and processes > 1 and len(jobs) > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(processes) as pool:
-            return pool.map(_run_single_star, jobs)
-    return [_run_single_star(job) for job in jobs]
+    return list(iter_runs(jobs, processes=processes))
 
 
 def default_seeds(count, base=1000):

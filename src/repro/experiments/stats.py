@@ -20,7 +20,11 @@ def percentile(values, fraction):
     lower = int(position)
     upper = min(lower + 1, len(ordered) - 1)
     weight = position - lower
-    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    value = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # The interpolation can underflow outside its bracket for subnormal
+    # inputs (e.g. 5e-324 * 0.25 rounds to 0.0); clamp to the order
+    # statistics it interpolates between.
+    return min(max(value, ordered[lower]), ordered[upper])
 
 
 def quartiles(values):

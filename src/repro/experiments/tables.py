@@ -19,6 +19,34 @@ MODEL_LABELS = {
 }
 
 
+def group_runs(results):
+    """``{(model, faults): [RunResult, ...]}`` from a flat run list.
+
+    Campaign executors hand back one flat, grid-ordered result list;
+    this regroups it into the keyed shape :func:`table1`/:func:`table2`
+    consume.  Insertion order (and order within each group) follows the
+    input, so grouping is deterministic.
+    """
+    grouped = {}
+    for result in results:
+        grouped.setdefault((result.model, result.faults), []).append(result)
+    return grouped
+
+
+def table1_from_runs(results, reference=None):
+    """Table I rows from a flat zero-fault run list (campaign output)."""
+    by_model = {}
+    for (model, faults), group in group_runs(results).items():
+        if faults == 0:
+            by_model[model] = group
+    return table1(by_model, reference=reference)
+
+
+def table2_from_runs(results, reference=None):
+    """Table II rows from a flat run list (campaign output)."""
+    return table2(group_runs(results), reference=reference)
+
+
 def baseline_reference(results_by_model):
     """The highlighted case: baseline median settled performance.
 

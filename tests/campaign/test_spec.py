@@ -1,0 +1,195 @@
+"""Tests for campaign specs, expansion order and content-hash keys."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, RunDescriptor
+from repro.platform.config import PlatformConfig
+
+
+@pytest.fixture
+def small():
+    return PlatformConfig.small()
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        models=("none", "foraging_for_work"),
+        seeds=(1, 2),
+        fault_counts=(0, 2),
+        config=PlatformConfig.small(),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestCampaignSpec:
+    def test_expansion_order_is_model_major(self):
+        cells = [d.cell() for d in _spec().expand()]
+        assert cells == [
+            ("none", 1, 0),
+            ("none", 2, 0),
+            ("none", 1, 2),
+            ("none", 2, 2),
+            ("foraging_for_work", 1, 0),
+            ("foraging_for_work", 2, 0),
+            ("foraging_for_work", 1, 2),
+            ("foraging_for_work", 2, 2),
+        ]
+
+    def test_size_matches_expansion(self):
+        spec = _spec()
+        assert spec.size() == len(spec.expand()) == 8
+
+    def test_aliases_resolve_on_construction(self):
+        spec = _spec(models=("ffw", "ni"))
+        assert spec.models == ("foraging_for_work", "network_interaction")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            _spec(models=("martian",))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(seeds=())
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(seeds=(1, 1))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(kind="table9")
+
+    def test_figure4_kind_implies_series(self):
+        spec = _spec(kind="figure4", keep_series=False)
+        assert spec.keep_series
+        assert all(d.keep_series for d in spec.expand())
+
+    def test_table_kind_requires_baseline_model(self):
+        with pytest.raises(ValueError, match="'none' model"):
+            _spec(models=("ffw",), kind="table2")
+
+    def test_table_kind_requires_zero_faults(self):
+        with pytest.raises(ValueError, match="fault count 0"):
+            _spec(fault_counts=(2, 8), kind="table2")
+
+    def test_from_dict_rejects_conflicting_fault_keys(self):
+        with pytest.raises(ValueError, match="not both"):
+            CampaignSpec.from_dict(
+                {
+                    "name": "s",
+                    "models": ["none"],
+                    "seeds": [1],
+                    "fault_counts": [0],
+                    "faults": [0, 8],
+                }
+            )
+
+    def test_round_trip_via_dict(self):
+        spec = _spec(kind="table2")
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_from_dict_runs_shorthand(self):
+        spec = CampaignSpec.from_dict(
+            {"name": "s", "models": ["none"], "runs": 3, "seed_base": 10}
+        )
+        assert spec.seeds == (10, 11, 12)
+        assert spec.fault_counts == (0,)
+
+    def test_from_dict_small_base_and_overrides(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "s",
+                "models": ["none"],
+                "seeds": [1],
+                "base": "small",
+                "config": {"horizon_us": 50_000, "fault_time_us": 10_000},
+            }
+        )
+        assert spec.config.width == 4
+        assert spec.config.horizon_us == 50_000
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict(
+                {"name": "s", "models": ["none"], "seeds": [1], "bogus": 1}
+            )
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"name": "s", "models": ["ffw"], "seeds": [5]})
+        )
+        spec = CampaignSpec.from_json_file(str(path))
+        assert spec.models == ("foraging_for_work",)
+        assert spec.seeds == (5,)
+
+
+class TestDescriptorKeys:
+    def test_key_is_stable(self, small):
+        a = RunDescriptor("none", 1, 0, small)
+        b = RunDescriptor("none", 1, 0, small)
+        assert a.key() == b.key()
+
+    def test_key_ignores_keep_series(self, small):
+        bare = RunDescriptor("none", 1, 0, small, keep_series=False)
+        kept = RunDescriptor("none", 1, 0, small, keep_series=True)
+        assert bare.key() == kept.key()
+
+    def test_alias_hashes_like_canonical(self, small):
+        alias = RunDescriptor("ffw", 1, 0, small)
+        canonical = RunDescriptor("foraging_for_work", 1, 0, small)
+        assert alias.key() == canonical.key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 2},
+            {"faults": 1},
+            {"model": "none"},
+            {"metric": "executions"},
+        ],
+    )
+    def test_key_differs_per_cell(self, small, change):
+        base = dict(
+            model="foraging_for_work", seed=1, faults=0, config=small
+        )
+        varied = dict(base)
+        varied.update(change)
+        assert (
+            RunDescriptor(**base).key() != RunDescriptor(**varied).key()
+        )
+
+    def test_key_covers_every_config_field(self, small):
+        base = RunDescriptor("none", 1, 0, small).key()
+        for field in dataclasses.fields(PlatformConfig):
+            value = getattr(small, field.name)
+            if isinstance(value, bool):
+                changed = small.replace(**{field.name: not value})
+            elif isinstance(value, int):
+                try:
+                    changed = small.replace(**{field.name: value + 1})
+                except ValueError:
+                    continue  # validation-coupled field; covered elsewhere
+            elif isinstance(value, float):
+                changed = small.replace(**{field.name: value + 0.25})
+            elif field.name == "routing_mode":
+                changed = small.replace(routing_mode="adaptive")
+            elif field.name == "initial_mapping":
+                changed = small.replace(initial_mapping="balanced")
+            else:
+                continue
+            assert RunDescriptor("none", 1, 0, changed).key() != base, (
+                "config field {} not hashed".format(field.name)
+            )
+
+    def test_job_matches_runner_tuple(self, small):
+        descriptor = RunDescriptor("none", 3, 2, small, keep_series=True)
+        assert descriptor.job() == (
+            "none", 3, 2, small, "joins", True
+        )

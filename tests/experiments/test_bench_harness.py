@@ -5,7 +5,9 @@ import pytest
 from benchmarks.harness import (
     MODELS,
     TABLE2_FAULTS,
+    check_campaign_smoke,
     gather_zero_fault,
+    run_campaign_smoke,
     runs_per_cell,
     seed_base,
 )
@@ -41,3 +43,20 @@ def test_gather_zero_fault_small(monkeypatch):
     for model, runs in results.items():
         assert len(runs) == 2
         assert all(r.faults == 0 for r in runs)
+
+
+def test_campaign_smoke_resumed_pass_hits_store():
+    smoke = run_campaign_smoke()
+    assert smoke["cells"] == 4
+    assert smoke["cold_executed"] == 4
+    assert smoke["warm_executed"] == 0
+    assert smoke["warm_cached"] == 4
+    assert smoke["identical"]
+    assert check_campaign_smoke(smoke) is None
+
+
+def test_check_campaign_smoke_flags_reexecution():
+    bad = {"cells": 4, "warm_executed": 2, "identical": True}
+    assert "re-executed" in check_campaign_smoke(bad)
+    drifted = {"cells": 4, "warm_executed": 0, "identical": False}
+    assert "differ" in check_campaign_smoke(drifted)

@@ -41,5 +41,61 @@ def test_parser_table2_fault_list():
 def test_parser_defaults():
     args = build_parser().parse_args(["table1"])
     assert args.runs == 15
+    assert args.processes is None
+    assert args.resume is None
     args = build_parser().parse_args(["figure4"])
     assert args.seed == 42
+
+
+def test_parser_resume_default_directory():
+    args = build_parser().parse_args(["table2", "--resume"])
+    assert args.resume == "campaigns/table2"
+    args = build_parser().parse_args(["table2", "--resume", "elsewhere"])
+    assert args.resume == "elsewhere"
+
+
+def test_parser_campaign_requires_source():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign"])
+    args = build_parser().parse_args(["campaign", "--paper", "table2"])
+    assert args.paper == "table2"
+
+
+def _mini_spec_file(tmp_path):
+    spec = {
+        "name": "mini",
+        "models": ["none", "ffw"],
+        "seeds": [1, 2],
+        "fault_counts": [0, 2],
+        "base": "small",
+        "kind": "table2",
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def test_campaign_subcommand_cold_then_resumed(capsys, tmp_path):
+    spec_file = _mini_spec_file(tmp_path)
+    store = str(tmp_path / "store")
+    argv = ["campaign", "--spec", spec_file, "--dir", store,
+            "--processes", "1"]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "8 executed, 0 cached" in cold.err
+    assert "Foraging For Work" in cold.out
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "0 executed, 8 cached" in warm.err
+    assert warm.out == cold.out  # bit-identical artefact off the store
+
+
+def test_campaign_fresh_recomputes(capsys, tmp_path):
+    spec_file = _mini_spec_file(tmp_path)
+    store = str(tmp_path / "store")
+    base = ["campaign", "--spec", spec_file, "--dir", store,
+            "--processes", "1"]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--fresh"]) == 0
+    assert "8 executed, 0 cached" in capsys.readouterr().err

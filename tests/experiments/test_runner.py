@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.experiments.runner import default_seeds, run_batch, run_single
+from repro.experiments.runner import (
+    RunError,
+    default_processes,
+    default_seeds,
+    iter_runs,
+    run_batch,
+    run_single,
+)
 from repro.platform.config import PlatformConfig
 
 
@@ -67,3 +74,43 @@ def test_as_row_export(small_config):
 def test_default_seeds():
     assert default_seeds(3) == [1000, 1001, 1002]
     assert default_seeds(2, base=5) == [5, 6]
+
+
+def test_default_processes_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PROCESSES", "3")
+    assert default_processes() == 3
+    monkeypatch.delenv("REPRO_PROCESSES")
+    assert default_processes() >= 1
+
+
+def test_run_batch_parallel_matches_sequential(small_config):
+    seeds = [1, 2, 3]
+    sequential = run_batch("none", seeds, config=small_config)
+    parallel = run_batch("none", seeds, config=small_config, processes=2)
+    assert [r.as_row() for r in parallel] == [
+        r.as_row() for r in sequential
+    ]
+
+
+def test_failing_seed_reports_cell_context(small_config):
+    with pytest.raises(RunError) as excinfo:
+        run_batch("not_a_model", seeds=[1], faults=3, config=small_config)
+    err = excinfo.value
+    assert (err.model, err.seed, err.faults) == ("not_a_model", 1, 3)
+    assert "not_a_model" in str(err)
+    assert "KeyError" in err.details
+
+
+def test_failing_seed_reports_cell_context_parallel(small_config):
+    with pytest.raises(RunError) as excinfo:
+        run_batch("not_a_model", seeds=[1, 2], config=small_config,
+                  processes=2)
+    assert excinfo.value.seed == 1
+
+
+def test_iter_runs_streams_in_order(small_config):
+    jobs = [
+        ("none", seed, 0, small_config, "joins", False) for seed in (4, 5)
+    ]
+    seen = [result.seed for result in iter_runs(jobs, processes=0)]
+    assert seen == [4, 5]
