@@ -1,8 +1,18 @@
 PYTHON ?= python
 
+# Keep in sync with .github/workflows/ci.yml and pyproject.toml.
+RUFF_VERSION ?= 0.8.4
+
 # Tier-1 test suite (the CI gate).
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Static checks; configuration lives in pyproject.toml.
+lint:
+	@command -v ruff >/dev/null 2>&1 || { \
+		echo "ruff not found — install with: pip install ruff==$(RUFF_VERSION)"; \
+		exit 1; }
+	ruff check .
 
 # Microbenchmarks + short sweep; exits non-zero if the gated benchmark
 # (test_small_platform_run) regresses >25% against BENCH_micro.json.
@@ -19,4 +29,4 @@ bench-baseline:
 campaign-smoke:
 	$(PYTHON) -m benchmarks.harness --campaign-smoke
 
-.PHONY: test bench bench-baseline campaign-smoke
+.PHONY: test lint bench bench-baseline campaign-smoke

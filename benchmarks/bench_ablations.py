@@ -13,8 +13,6 @@ paper's discussion section) identify as load-bearing:
   the FFW lateness signal) appears.
 """
 
-import pytest
-
 from benchmarks.harness import runs_per_cell, seed_base
 from repro.experiments.runner import default_seeds, run_batch
 from repro.experiments.stats import median

@@ -6,8 +6,6 @@ graph" and proposes adaptive thresholds.  These benches quantify all three
 extensions against the evaluated system.
 """
 
-import pytest
-
 from benchmarks.harness import runs_per_cell, seed_base
 from repro.analysis.latency import LatencyCollector
 from repro.experiments.runner import default_seeds, run_batch

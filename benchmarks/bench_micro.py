@@ -6,8 +6,6 @@ event-queue throughput, provider lookups, threshold circuits and a short
 full-platform run.
 """
 
-import pytest
-
 from repro.core.models.network_interaction import NetworkInteractionModel
 from repro.core.thresholds import ThresholdUnit
 from repro.noc.packet import Packet

@@ -45,6 +45,14 @@ are never reused against a config they did not describe).  Bump
 ``keep_series`` is deliberately excluded from the key — it changes what
 is recorded, not what is simulated; a cached cell without a series is
 treated as a miss when the campaign asks for series.
+
+Scenario cells extend the payload with a ``scenario`` entry: the fully
+explicit (every-field) dict of the
+:class:`~repro.platform.scenario.FaultScenario`, so *any* change to the
+injected faults — timing, counts, patterns, durations, even the
+scenario's name — mints a new key and invalidates the stored cell.
+Legacy fault-count cells omit the entry entirely, which keeps every key
+minted before the scenario axis existed valid: old stores keep hitting.
 """
 
 from repro.campaign.executor import CampaignReport, run_campaign

@@ -1,10 +1,14 @@
 """Declarative campaign specifications and their content-hash keys.
 
-A :class:`CampaignSpec` names a sweep — models × seeds × fault counts
+A :class:`CampaignSpec` names a sweep — models × seeds × fault axis
 over one platform configuration — and expands it into
-:class:`RunDescriptor` cells.  Each descriptor hashes to a stable key
-(see the package docstring for the stability contract); the store and
-executor never look at anything else.
+:class:`RunDescriptor` cells.  The fault axis is the union of legacy
+``fault_counts`` (uniform permanent bursts at the config's fault time)
+and declarative ``scenarios``
+(:class:`~repro.platform.scenario.FaultScenario`: link failures,
+transients, waves, spatial patterns).  Each descriptor hashes to a
+stable key (see the package docstring for the stability contract); the
+store and executor never look at anything else.
 """
 
 import dataclasses
@@ -14,6 +18,7 @@ import json
 from repro.core.models.registry import resolve_model_name
 from repro.experiments.runner import DEFAULT_METRIC, default_seeds
 from repro.platform.config import PlatformConfig
+from repro.platform.scenario import FaultScenario
 
 #: Bump to invalidate every stored result by hand (schema field of the
 #: key payload); config-schema changes already invalidate implicitly.
@@ -33,13 +38,25 @@ class RunDescriptor:
     config: PlatformConfig
     metric: str = DEFAULT_METRIC
     keep_series: bool = False
+    scenario: FaultScenario = None
 
     def cell(self):
-        """The human-facing coordinates ``(model, seed, faults)``."""
+        """The human-facing cell coordinates.
+
+        ``(model, seed, faults)`` for legacy count cells,
+        ``(model, seed, scenario name)`` for scenario cells.
+        """
+        if self.scenario is not None:
+            return (self.model, self.seed, self.scenario.name)
         return (self.model, self.seed, self.faults)
 
     def key(self):
-        """Stable SHA-256 content hash identifying this simulation."""
+        """Stable SHA-256 content hash identifying this simulation.
+
+        The scenario joins the payload only when present, so every key
+        minted before the scenario axis existed is unchanged — legacy
+        stores keep hitting.
+        """
         payload = {
             "schema": HASH_SCHEMA_VERSION,
             "model": resolve_model_name(self.model),
@@ -48,6 +65,8 @@ class RunDescriptor:
             "metric": self.metric,
             "config": dataclasses.asdict(self.config),
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.canonical()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -60,12 +79,19 @@ class RunDescriptor:
             self.config,
             self.metric,
             self.keep_series,
+            self.scenario,
         )
 
 
 @dataclasses.dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative sweep grid, JSON-loadable via :meth:`from_dict`."""
+    """A declarative sweep grid, JSON-loadable via :meth:`from_dict`.
+
+    The fault axis of the grid is ``fault_counts`` ∪ ``scenarios``: each
+    model × seed pair runs once per fault count (the legacy uniform
+    burst) and once per declarative scenario.  Either side may be empty,
+    but not both.
+    """
 
     name: str
     models: tuple
@@ -74,6 +100,8 @@ class CampaignSpec:
     config: PlatformConfig = PlatformConfig()
     metric: str = DEFAULT_METRIC
     keep_series: bool = False
+    #: Declarative fault scenarios swept alongside the fault counts.
+    scenarios: tuple = ()
     #: Rendering hint: how :mod:`repro.campaign.paper` turns the finished
     #: grid back into an artefact ("grid" returns plain rows).
     kind: str = "grid"
@@ -88,14 +116,28 @@ class CampaignSpec:
         object.__setattr__(
             self, "fault_counts", tuple(int(f) for f in self.fault_counts)
         )
+        object.__setattr__(
+            self,
+            "scenarios",
+            tuple(
+                s if isinstance(s, FaultScenario)
+                else FaultScenario.from_dict(s)
+                for s in self.scenarios
+            ),
+        )
         if not self.name:
             raise ValueError("campaign needs a name")
-        if not self.models or not self.seeds or not self.fault_counts:
+        if not self.models or not self.seeds:
             raise ValueError("campaign grid must be non-empty")
+        if not self.fault_counts and not self.scenarios:
+            raise ValueError(
+                "campaign needs fault_counts and/or scenarios"
+            )
         for field, values in (
             ("models", self.models),
             ("seeds", self.seeds),
             ("fault_counts", self.fault_counts),
+            ("scenarios", [s.name for s in self.scenarios]),
         ):
             if len(set(values)) != len(values):
                 raise ValueError("duplicate entries in {}".format(field))
@@ -124,33 +166,56 @@ class CampaignSpec:
                 )
 
     def expand(self):
-        """The cell grid, model-major then faults then seeds.
+        """The cell grid: model-major, then fault counts, then
+        scenarios, then seeds.
 
         The order is stable and documented because it decides *resume*
         order (which cells a partial store already holds); results are
         per-cell deterministic regardless of execution order.
         """
-        return [
-            RunDescriptor(
-                model=model,
-                seed=seed,
-                faults=faults,
-                config=self.config,
-                metric=self.metric,
-                keep_series=self.keep_series,
-            )
-            for model in self.models
-            for faults in self.fault_counts
-            for seed in self.seeds
-        ]
+        cells = []
+        for model in self.models:
+            for faults in self.fault_counts:
+                for seed in self.seeds:
+                    cells.append(
+                        RunDescriptor(
+                            model=model,
+                            seed=seed,
+                            faults=faults,
+                            config=self.config,
+                            metric=self.metric,
+                            keep_series=self.keep_series,
+                        )
+                    )
+            for scenario in self.scenarios:
+                for seed in self.seeds:
+                    cells.append(
+                        RunDescriptor(
+                            model=model,
+                            seed=seed,
+                            faults=0,
+                            config=self.config,
+                            metric=self.metric,
+                            keep_series=self.keep_series,
+                            scenario=scenario,
+                        )
+                    )
+        return cells
 
     def size(self):
         """Number of cells in the grid."""
-        return len(self.models) * len(self.seeds) * len(self.fault_counts)
+        return len(self.models) * len(self.seeds) * (
+            len(self.fault_counts) + len(self.scenarios)
+        )
 
     def to_dict(self):
-        """JSON-friendly dict; ``from_dict`` round-trips it."""
-        return {
+        """JSON-friendly dict; ``from_dict`` round-trips it.
+
+        The ``scenarios`` entry is omitted when the axis is unused so
+        legacy campaign directories keep byte-identical ``spec.json``
+        provenance.
+        """
+        data = {
             "name": self.name,
             "models": list(self.models),
             "seeds": list(self.seeds),
@@ -160,6 +225,9 @@ class CampaignSpec:
             "keep_series": self.keep_series,
             "kind": self.kind,
         }
+        if self.scenarios:
+            data["scenarios"] = [s.to_dict() for s in self.scenarios]
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -189,9 +257,14 @@ class CampaignSpec:
             raise ValueError(
                 "give either 'fault_counts' or its alias 'faults', not both"
             )
+        scenarios = data.pop("scenarios", ())
         fault_counts = data.pop("fault_counts", None)
         if fault_counts is None:
-            fault_counts = data.pop("faults", (0,))
+            # With scenarios present, absent fault counts mean "scenario
+            # axis only" — no implicit zero-fault burst cell.
+            fault_counts = data.pop(
+                "faults", () if scenarios else (0,)
+            )
         overrides = data.pop("config", {}) or {}
         base = data.pop("base", "default")
         if base == "small":
@@ -208,6 +281,7 @@ class CampaignSpec:
             config=config,
             metric=data.pop("metric", DEFAULT_METRIC),
             keep_series=bool(data.pop("keep_series", False)),
+            scenarios=tuple(scenarios),
             kind=data.pop("kind", "grid"),
         )
         if data:

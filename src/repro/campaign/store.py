@@ -100,6 +100,7 @@ def decode_result(record):
         app_stats=app_stats,
         noc_stats=dict(record["noc_stats"]),
         total_switches=row["total_switches"],
+        scenario=row.get("scenario"),
     )
 
 

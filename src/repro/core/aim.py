@@ -135,6 +135,19 @@ class ArtificialIntelligenceModule:
         if self._tick is not None:
             self._tick.stop()
 
+    def restart(self):
+        """Resume the timer tick after node recovery.
+
+        Tick-bank AIMs just flip their gate back on (the shared train
+        never stopped); standalone AIMs restart their own process.  An
+        AIM with no model stays silent, exactly as at construction.
+        """
+        if self.model is None:
+            return
+        self._ticking = True
+        if self._tick is not None and not self._tick.running:
+            self._tick.start()
+
     # -- router monitor relay ---------------------------------------------------
 
     def on_packet_routed(self, router, packet, to_internal):

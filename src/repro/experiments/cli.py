@@ -3,6 +3,7 @@
 Usage (after ``pip install -e .``):
 
     python -m repro.experiments.cli run --model ffw --seed 7 --faults 42
+    python -m repro.experiments.cli run --model ni --scenario waves.json
     python -m repro.experiments.cli table1 --runs 20 --processes 8
     python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32 --resume
     python -m repro.experiments.cli figure4 --seed 42
@@ -31,6 +32,7 @@ from repro.experiments.figures import render_figure4
 from repro.experiments.runner import default_processes, run_single
 from repro.experiments.tables import format_table
 from repro.platform.config import PlatformConfig
+from repro.platform.scenario import FaultScenario
 
 MODELS = paper.MODELS
 
@@ -64,6 +66,12 @@ def build_parser():
     run_p.add_argument("--model", default="ffw")
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--faults", type=int, default=0)
+    run_p.add_argument(
+        "--scenario", metavar="FILE",
+        help="JSON FaultScenario driving the run's fault injections "
+             "(link failures, transients, waves, spatial patterns); "
+             "replaces --faults",
+    )
     run_p.add_argument("--small", action="store_true",
                        help="4x4 grid instead of full Centurion")
     run_p.add_argument(
@@ -164,8 +172,14 @@ def _run_spec(spec, args, store=None):
 def cmd_run(args):
     """``run`` subcommand: one simulation, row + optional JSON."""
     config = PlatformConfig.small() if args.small else PlatformConfig()
+    scenario = None
+    if args.scenario:
+        if args.faults:
+            raise SystemExit("give either --faults or --scenario, not both")
+        scenario = FaultScenario.from_json_file(args.scenario)
     result = run_single(
-        args.model, seed=args.seed, faults=args.faults, config=config
+        args.model, seed=args.seed, faults=args.faults, config=config,
+        scenario=scenario,
     )
     row = result.as_row()
     for key, value in row.items():

@@ -37,10 +37,17 @@ class RunResult:
     app_stats: dict
     noc_stats: dict
     total_switches: int
+    #: Name of the fault scenario driving the run (None = legacy counts).
+    scenario: str = None
 
     def as_row(self):
-        """Flat dict of the scalar fields (CSV/JSON row)."""
-        return {
+        """Flat dict of the scalar fields (CSV/JSON row).
+
+        The ``scenario`` column appears only on scenario-driven runs, so
+        legacy fault-count rows stay byte-identical to earlier releases
+        (stores and downstream CSV diffs included).
+        """
+        row = {
             "model": self.model,
             "seed": self.seed,
             "faults": self.faults,
@@ -50,33 +57,71 @@ class RunResult:
             "recovered_performance": self.recovered_performance,
             "total_switches": self.total_switches,
         }
+        if self.scenario is not None:
+            row["scenario"] = self.scenario
+        return row
 
 
 def run_single(model_name, seed, faults=0, config=None,
-               metric=DEFAULT_METRIC, keep_series=True):
+               metric=DEFAULT_METRIC, keep_series=True, scenario=None):
     """One full experiment run.
 
     Settling is measured from t=0 up to the fault time (or to the horizon
     when no faults are injected); recovery is measured from the fault time
     to the horizon.  Without faults the recovery fields mirror the settled
     state so downstream tables can treat the 0-fault row uniformly.
+
+    ``scenario`` (a :class:`~repro.platform.scenario.FaultScenario`)
+    replaces the legacy ``faults`` count with a declarative fault
+    composition; the settling/recovery boundary is then the scenario's
+    *first* injection.  A boundary leaving no measurable post-fault
+    window (a fault at the exact run horizon) degrades gracefully: the
+    recovery fields mirror the settled state, like a zero-fault run.
     """
     config = config if config is not None else PlatformConfig()
     platform = CenturionPlatform(config, model_name=model_name, seed=seed)
-    if faults > 0:
+    boundary_us = None
+    if scenario is not None:
+        if faults:
+            raise ValueError("give either 'faults' or 'scenario', not both")
+        scenario = platform.inject_scenario(scenario)
+        boundary_us = scenario.first_fault_us()
+    elif faults > 0:
         platform.inject_faults(faults)
+        boundary_us = config.fault_time_us
     series = platform.run()
-    fault_time_ms = config.fault_time_us / 1000.0
-    settle_end = fault_time_ms if faults > 0 else None
-    settling_time, settled_perf = settling_analysis(
-        series, metric=metric, end_ms=settle_end
+    boundary_ms = (
+        boundary_us / 1000.0 if boundary_us is not None else None
     )
-    if faults > 0:
-        recovery_time, recovered_perf = recovery_analysis(
-            series, fault_time_ms, metric=metric
+    # A fault at t=0 leaves no pre-fault window at all: settling is then
+    # measured over the whole (faulted) run, like a zero-fault row.
+    settle_end = boundary_ms if boundary_ms else None
+    try:
+        settling_time, settled_perf = settling_analysis(
+            series, metric=metric, end_ms=settle_end
         )
+    except ValueError:
+        # Fewer than two samples before the first fault (scenario
+        # injecting within the first metric windows): same degradation.
+        settling_time, settled_perf = settling_analysis(
+            series, metric=metric
+        )
+    if boundary_ms is not None:
+        try:
+            recovery_time, recovered_perf = recovery_analysis(
+                series, boundary_ms, metric=metric
+            )
+        except ValueError:
+            # Fewer than two samples after the fault (injection at or
+            # beyond the effective horizon): nothing to measure.
+            recovery_time, recovered_perf = 0.0, settled_perf
     else:
         recovery_time, recovered_perf = 0.0, settled_perf
+    if scenario is not None:
+        # Scenario rows report the node faults actually injected (the
+        # declared shape lives in the scenario itself); a uniform burst
+        # scenario therefore rows up exactly like its legacy-count twin.
+        faults = len(platform.faults.victims)
     return RunResult(
         model=platform.model_name,
         seed=seed,
@@ -89,6 +134,7 @@ def run_single(model_name, seed, faults=0, config=None,
         app_stats=platform.workload.stats(),
         noc_stats=dict(platform.network.stats),
         total_switches=platform.total_task_switches(),
+        scenario=scenario.name if scenario is not None else None,
     )
 
 

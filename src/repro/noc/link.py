@@ -76,6 +76,19 @@ class Link:
         self.total_wait += start - now
         return start + occupancy + self.wire_latency
 
+    def fail(self):
+        """Disable the channel (fault injection); transfers now raise."""
+        self.enabled = False
+
+    def recover(self):
+        """Re-enable a failed channel.
+
+        Occupancy is kept: ``busy_until`` timestamps in the past are
+        harmless (``transfer`` clamps to ``now``) and a future claim from
+        before the outage still models a packet owning the wire.
+        """
+        self.enabled = True
+
     def utilisation(self, now):
         """Fraction of time spent transferring, measured up to ``now``."""
         if now <= 0:

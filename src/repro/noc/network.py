@@ -60,7 +60,7 @@ from repro.noc.routing import (
     RoutingPolicy,
     UnroutableError,
 )
-from repro.noc.topology import MeshTopology, opposite
+from repro.noc.topology import MeshTopology, normalize_edge, opposite
 
 
 class Network:
@@ -131,6 +131,8 @@ class Network:
             self._hop_table[node] = hops
         self.deliver_handler = None
         self.failed_nodes = set()
+        #: Failed mesh edges, normalised to ``(lo, hi)`` node pairs.
+        self.failed_links = set()
         #: Hops executed inline by the express engine (diagnostic only —
         #: deliberately kept out of ``stats`` so fast/slow runs compare
         #: equal on the experiment-facing counters).
@@ -171,6 +173,61 @@ class Network:
         self.policy.set_failed(self.failed_nodes)
         if self.trace is not None:
             self.trace.record(self.sim.now, "node_failed", node=node_id)
+
+    def recover_node(self, node_id):
+        """Un-fail a router; routing tables heal and traffic flows again.
+
+        The node rejoins as a blank forwarding element — it carries no
+        task until the platform (or its intelligence) assigns one, so the
+        provider directory needs no version bump.
+        """
+        if node_id not in self.failed_nodes:
+            return
+        self.failed_nodes.discard(node_id)
+        self.routers[node_id].recover()
+        self.directory.mark_recovered(node_id)
+        self.policy.set_failed(self.failed_nodes)
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "node_recovered", node=node_id)
+
+    def fail_link(self, a, b):
+        """Kill the mesh edge ``a — b`` (both channel directions).
+
+        Routing detours around the edge exactly like it detours around a
+        dead router: the policy's caches invalidate and the BFS table
+        treats the edge as missing.
+        """
+        if (a, b) not in self.links:
+            raise KeyError("nodes {} and {} are not adjacent".format(a, b))
+        edge = normalize_edge(a, b)
+        if edge in self.failed_links:
+            return
+        self.failed_links.add(edge)
+        self.links[(a, b)].fail()
+        self.links[(b, a)].fail()
+        self.policy.set_failed_links(self.failed_links)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_failed", src=edge[0], dst=edge[1]
+            )
+
+    def recover_link(self, a, b):
+        """Re-enable a failed mesh edge; XY routes return when clear."""
+        edge = normalize_edge(a, b)
+        if edge not in self.failed_links:
+            return
+        self.failed_links.discard(edge)
+        self.links[(a, b)].recover()
+        self.links[(b, a)].recover()
+        self.policy.set_failed_links(self.failed_links)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_recovered", src=edge[0], dst=edge[1]
+            )
+
+    def link_failed(self, a, b):
+        """True when the mesh edge ``a — b`` is currently failed."""
+        return normalize_edge(a, b) in self.failed_links
 
     # -- sending ---------------------------------------------------------------------
 
@@ -380,6 +437,12 @@ class Network:
                        at_node=node)
             return None
         neighbor, link, in_port = hop
+        if not link.enabled:
+            # The policy avoids failed links once its caches invalidate;
+            # this guards the same-instant race (link died between the
+            # direction choice and the claim).
+            self._drop(packet, PacketStatus.DROPPED_FAULT, at_node=node)
+            return None
         now = self.sim.now
         if self.deadlock.should_drop(link.busy_until - now):
             self.deadlock.record_drop(now)

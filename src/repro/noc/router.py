@@ -196,6 +196,16 @@ class Router:
         for port in self.ports.values():
             port.enabled = False
 
+    def recover(self):
+        """Revive a failed router (transient-fault recovery path).
+
+        Ports re-enable and counters continue where they stopped; the
+        node rejoins the mesh as a blank forwarding element.
+        """
+        self.failed = False
+        for port in self.ports.values():
+            port.enabled = True
+
     # -- RCAP ---------------------------------------------------------------------
 
     def rcap_write(self, settings):

@@ -26,6 +26,7 @@ from repro.noc.topology import (
     NORTH,
     SOUTH,
     WEST,
+    normalize_edge,
     opposite,
 )
 
@@ -83,6 +84,15 @@ class ProviderDirectory:
             return
         self._failed.add(node_id)
         self.set_task(node_id, None)
+
+    def mark_recovered(self, node_id):
+        """Readmit a recovered node (it rejoins task-less).
+
+        No version bump is needed: the node held no task while failed,
+        so the provider sets — all the caches depend on — are unchanged
+        until something assigns it work again.
+        """
+        self._failed.discard(node_id)
 
     # -- queries -------------------------------------------------------------
 
@@ -183,16 +193,20 @@ class XYRouting:
 class RoutingPolicy:
     """Fault-aware next-hop selection.
 
-    Healthy mesh: XY routing (the Centurion default).  With failed routers,
-    a BFS next-hop table over surviving routers is computed per destination
-    on demand and cached; the cache is invalidated whenever the failure set
-    changes.
+    Healthy mesh: XY routing (the Centurion default).  With failed routers
+    or failed links, a BFS next-hop table over the surviving topology is
+    computed per destination on demand and cached; the cache is
+    invalidated whenever either failure set changes (including shrinking —
+    recovery restores XY routes the moment the mesh is whole again).
     """
 
     def __init__(self, topology):
         self.topology = topology
         self.xy = XYRouting(topology)
         self._failed = frozenset()
+        #: Failed mesh edges as normalised ``(lo, hi)`` node pairs (an
+        #: edge failure takes out both directions of the channel).
+        self._failed_links = frozenset()
         self._table_cache = {}
         # Next-hop direction cache: given a fixed failure set the chosen
         # direction is a pure function of (current, dest), and
@@ -213,9 +227,31 @@ class RoutingPolicy:
             self._table_cache.clear()
             self._direction_cache.clear()
 
+    def set_failed_links(self, failed_edges):
+        """Replace the set of failed mesh edges; invalidates cached tables.
+
+        Edges are undirected ``(a, b)`` node pairs (normalised to
+        ``(min, max)`` internally).
+        """
+        edges = frozenset(
+            normalize_edge(a, b) for a, b in failed_edges
+        )
+        if edges != self._failed_links:
+            self._failed_links = edges
+            self._table_cache.clear()
+            self._direction_cache.clear()
+
+    def _edge_ok(self, a, b):
+        """True when the mesh edge ``a — b`` is usable."""
+        return normalize_edge(a, b) not in self._failed_links
+
     @property
     def failed(self):
         return self._failed
+
+    @property
+    def failed_links(self):
+        return self._failed_links
 
     # -- next-hop query -----------------------------------------------------------
 
@@ -234,7 +270,7 @@ class RoutingPolicy:
             return direction
         if dest in self._failed:
             raise UnroutableError(current, dest, "destination failed")
-        if not self._failed:
+        if not self._failed and not self._failed_links:
             direction = self.xy.next_direction(current, dest)
         else:
             direction = self._detour_direction(current, dest)
@@ -242,18 +278,22 @@ class RoutingPolicy:
         return direction
 
     def _detour_direction(self, current, dest):
-        """Next hop with failed routers present (cache-miss path).
+        """Next hop with failed routers/links present (cache-miss path).
 
         Try XY first: it is still correct if every hop on the XY path is
         alive, otherwise fall back to the BFS next-hop table over the
-        surviving routers.
+        surviving topology.
         """
         direction = self.xy.next_direction(current, dest)
         neighbor = self.topology.neighbor(current, direction)
-        if neighbor is not None and neighbor not in self._failed:
-            # The XY path may still hit a dead router later; to guarantee
-            # delivery we only trust XY when no failures block the full
-            # XY path, otherwise use the table.
+        if (
+            neighbor is not None
+            and neighbor not in self._failed
+            and self._edge_ok(current, neighbor)
+        ):
+            # The XY path may still hit a dead router or link later; to
+            # guarantee delivery we only trust XY when no failures block
+            # the full XY path, otherwise use the table.
             if self._xy_path_clear(current, dest):
                 return direction
         return self._table_direction(current, dest)
@@ -283,7 +323,11 @@ class RoutingPolicy:
         healthy = []
         for direction in candidates:
             neighbor = self.topology.neighbor(current, direction)
-            if neighbor is not None and neighbor not in self._failed:
+            if (
+                neighbor is not None
+                and neighbor not in self._failed
+                and self._edge_ok(current, neighbor)
+            ):
                 healthy.append(direction)
         return healthy
 
@@ -308,9 +352,14 @@ class RoutingPolicy:
         node = current
         while node != dest:
             direction = self.xy.next_direction(node, dest)
-            node = self.topology.neighbor(node, direction)
-            if node is None or node in self._failed:
+            step = self.topology.neighbor(node, direction)
+            if (
+                step is None
+                or step in self._failed
+                or not self._edge_ok(node, step)
+            ):
                 return False
+            node = step
         return True
 
     def _table_direction(self, current, dest):
@@ -324,7 +373,7 @@ class RoutingPolicy:
         return direction
 
     def _build_table(self, dest):
-        """BFS from ``dest`` outward over healthy routers.
+        """BFS from ``dest`` outward over healthy routers and links.
 
         Produces, for every reachable router, the direction of its first hop
         toward ``dest``.  Neighbour expansion order is the fixed DIRECTIONS
@@ -341,6 +390,7 @@ class RoutingPolicy:
                     neighbor is None
                     or neighbor in visited
                     or neighbor in self._failed
+                    or not self._edge_ok(node, neighbor)
                 ):
                     continue
                 # The neighbour reaches dest by stepping back toward node.

@@ -36,6 +36,16 @@ def opposite(direction):
     return _OPPOSITE[direction]
 
 
+def normalize_edge(a, b):
+    """Canonical undirected-edge id ``(lo, hi)`` for the mesh edge a — b.
+
+    Link-fault state (network, routing policy, fault injector) keys
+    edges by this one normalisation, so an edge failure always takes
+    out both channel directions regardless of endpoint order.
+    """
+    return (a, b) if a <= b else (b, a)
+
+
 class MeshTopology:
     """A ``width × height`` 2D mesh.
 

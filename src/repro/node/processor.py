@@ -191,7 +191,7 @@ class ProcessingElement:
             self._configure_generation()
 
     def halt(self):
-        """Hard fault: the node stops for good (used by fault injection)."""
+        """Hard fault: the node stops (used by fault injection)."""
         self.halted = True
         self.busy = False
         self.queue.clear()
@@ -199,6 +199,24 @@ class ProcessingElement:
         if self._gen_process is not None:
             self._gen_process.stop()
             self._gen_process = None
+
+    def restart(self):
+        """Recover from a transient fault: rejoin blank.
+
+        The node comes back alive but task-less and empty-handed — its
+        pre-fault assignment died with it, matching a real reboot (the
+        halted node keeps ``task_id`` for post-mortem introspection; the
+        restart clears it to match the provider directory).  The
+        intelligence layer (or the Experiment Controller) re-allocates
+        work to it through the normal task-select knob.
+        """
+        if not self.halted:
+            return
+        self.halted = False
+        self.busy = False
+        self.queue.clear()
+        self.task_id = None
+        self._gen_seq = 0
 
     # -- packet input (internal port) ----------------------------------------------------
 

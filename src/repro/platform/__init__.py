@@ -4,16 +4,22 @@ Assembles the substrates into the system of paper §III: a 8×16 grid of 128
 nodes (router + processing element + AIM), an Experiment Controller attached
 to the North ports of four top-row routers with an out-of-band debug
 interface, and a fault-injection engine driven through that debug interface.
+Fault campaigns are declarative :class:`FaultScenario` compositions (node
+kills, link failures, transients, waves, spatial patterns) interpreted by
+the :class:`FaultInjector`.
 """
 
 from repro.platform.centurion import CenturionPlatform
 from repro.platform.config import PlatformConfig
 from repro.platform.controller import ExperimentController
 from repro.platform.faults import FaultInjector
+from repro.platform.scenario import FaultEvent, FaultScenario
 
 __all__ = [
     "CenturionPlatform",
     "PlatformConfig",
     "ExperimentController",
+    "FaultEvent",
     "FaultInjector",
+    "FaultScenario",
 ]

@@ -33,7 +33,13 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 
 #: Trace categories recorded by default (cheap, needed by experiments).
-DEFAULT_TRACE_CATEGORIES = ("task_switch", "node_failed")
+DEFAULT_TRACE_CATEGORIES = (
+    "task_switch",
+    "node_failed",
+    "node_recovered",
+    "link_failed",
+    "link_recovered",
+)
 
 
 class CenturionPlatform:
@@ -182,6 +188,23 @@ class CenturionPlatform:
         """Schedule a fault campaign (defaults to the config's 500 ms)."""
         at = self.config.fault_time_us if at_us is None else at_us
         self.faults.schedule(count, at, victims=victims)
+
+    def inject_scenario(self, scenario):
+        """Schedule a declarative fault scenario.
+
+        ``scenario`` is a :class:`~repro.platform.scenario.FaultScenario`
+        (or a plain dict / JSON file path accepted by its loaders) — the
+        generalised fault surface: link failures, transients, waves and
+        spatial patterns alongside the paper's permanent bursts.
+        """
+        from repro.platform.scenario import FaultScenario
+
+        if isinstance(scenario, str):
+            scenario = FaultScenario.from_json_file(scenario)
+        elif isinstance(scenario, dict):
+            scenario = FaultScenario.from_dict(scenario)
+        self.faults.apply(scenario)
+        return scenario
 
     # -- convenience views ----------------------------------------------------------------
 

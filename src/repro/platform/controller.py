@@ -46,6 +46,7 @@ class ExperimentController:
         )
         self.injected = 0
         self.faults_injected = []
+        self.faults_recovered = []
 
     # -- NoC face --------------------------------------------------------------
 
@@ -110,6 +111,25 @@ class ExperimentController:
         platform.network.fail_node(node_id)
         self.faults_injected.append((platform.sim.now, node_id))
 
+    def recover_node(self, node_id):
+        """Un-fail one node: processor restarts blank, router revives.
+
+        The transient-fault back edge.  Like injection this rides the
+        debug interface — recovery itself produces no NoC traffic.  The
+        recovered node holds no task until the intelligence layer (or a
+        :meth:`debug_set_task`) re-allocates work to it.
+        """
+        platform = self.platform
+        pe = platform.pes[node_id]
+        if not pe.halted:
+            return
+        pe.restart()
+        aim = platform.aims.get(node_id)
+        if aim is not None:
+            aim.restart()
+        platform.network.recover_node(node_id)
+        self.faults_recovered.append((platform.sim.now, node_id))
+
     def alive_nodes(self):
         """Node ids that have not been fault-injected."""
         return [
@@ -119,6 +139,7 @@ class ExperimentController:
         ]
 
     def __repr__(self):
-        return "ExperimentController(attach={}, faults={})".format(
-            self.attach_points, len(self.faults_injected)
+        return "ExperimentController(attach={}, faults={}, recovered={})".format(
+            self.attach_points, len(self.faults_injected),
+            len(self.faults_recovered),
         )

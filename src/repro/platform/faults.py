@@ -4,14 +4,28 @@
 §IV-B): at a configured time a set of victim nodes fail permanently — the
 processor stops, the router stops forwarding, and the surviving system must
 re-route and (with intelligence enabled) re-allocate tasks.  Victims are
-drawn uniformly from the currently-alive nodes using a dedicated RNG stream
-so fault patterns are reproducible per seed and independent of the mapping
+drawn from the currently-alive candidates using a dedicated RNG stream so
+fault patterns are reproducible per seed and independent of the mapping
 stream.
+
+Beyond the paper's single burst, the injector is an *interpreter* for
+declarative :class:`~repro.platform.scenario.FaultScenario` compositions:
+link failures, transient/intermittent outages (fail, then recover, then
+optionally fail again), timed waves and spatial victim patterns
+(row/column/region/neighbourhood).  The legacy :meth:`schedule` surface
+maps onto a one-event uniform burst and draws the exact RNG sequence the
+historic implementation drew, so existing sweeps stay bit-identical.
 """
+
+from repro.noc.topology import normalize_edge
+from repro.platform.scenario import LINK, NODE, UNIFORM, FaultEvent
+
+#: RNG stream name shared by every victim draw (legacy-compatible).
+FAULT_STREAM = "fault-injection"
 
 
 class FaultInjector:
-    """Schedules and executes node-failure campaigns.
+    """Schedules and executes fault campaigns against a platform.
 
     Parameters
     ----------
@@ -21,42 +35,255 @@ class FaultInjector:
 
     def __init__(self, platform):
         self.platform = platform
+        #: Legacy bookkeeping: ``(at_us, count, pinned_victims)`` per
+        #: :meth:`schedule` call (pinned victims recorded for
+        #: introspection; ``None`` for runtime draws).
         self.scheduled = []
+        #: Node ids actually killed, in injection order (repeats included).
         self.victims = []
+        #: ``(src, dst)`` link endpoints actually failed, in order.
+        self.link_victims = []
+        #: ``(time_us, kind, victim)`` recovery log.
+        self.recovered = []
+        #: Scenarios applied through :meth:`apply`.
+        self.scenarios = []
+        #: Victims a *permanent* event has claimed: a pending transient
+        #: recovery must not revive them (permanent declarations win).
+        self._permanent = set()
+        #: Latest declared outage end per ``(kind, victim)``: overlapping
+        #: transients extend each other instead of the earliest recovery
+        #: cutting every later outage short.
+        self._outage_until = {}
+
+    # -- legacy surface ----------------------------------------------------
 
     def schedule(self, count, at_us, victims=None):
         """Arrange for ``count`` random nodes to fail at ``at_us``.
 
-        ``victims`` may pin an explicit node list (tests); otherwise they
-        are drawn at injection time from nodes still alive, which mirrors
-        the paper's procedure (faults hit the *running* system).  Control-
-        priority scheduling makes all failures land before any same-tick
+        ``victims`` may pin an explicit node list (tests); when both are
+        given they must agree — a pinned list silently overriding the
+        count hid real setup mistakes.  Otherwise victims are drawn at
+        injection time from nodes still alive, which mirrors the paper's
+        procedure (faults hit the *running* system).  Control-priority
+        scheduling makes all failures land before any same-tick
         application event.
         """
         if count < 0:
             raise ValueError("fault count must be >= 0")
+        if victims is not None:
+            victims = tuple(victims)
+            if count != len(victims):
+                raise ValueError(
+                    "count={} disagrees with {} pinned victims".format(
+                        count, len(victims)
+                    )
+                )
         if count == 0:
             return
-        sim = self.platform.sim
-        self.scheduled.append((at_us, count))
-        sim.schedule_at(
-            at_us,
-            lambda c=count, v=victims: self._inject(c, v),
-            priority=sim.PRIORITY_CONTROL,
+        self.scheduled.append((at_us, count, victims))
+        self._schedule_event(
+            FaultEvent(at_us=at_us, count=count, victims=victims)
         )
 
-    def _inject(self, count, victims):
+    # -- scenario surface --------------------------------------------------
+
+    def apply(self, scenario):
+        """Schedule every event of a declarative scenario.
+
+        Pinned victims are validated against this platform's topology
+        up front, so a malformed scenario fails here — at apply time —
+        instead of deep inside the event loop at simulated fault time.
+        """
+        for event in scenario.events:
+            self._check_victims(scenario, event)
+        self.scenarios.append(scenario)
+        for event in scenario.events:
+            self._schedule_event(event)
+
+    def _check_victims(self, scenario, event):
+        if event.victims is None:
+            return
+        network = self.platform.network
+        num_nodes = network.topology.num_nodes
+        if event.kind == NODE:
+            for victim in event.victims:
+                if not 0 <= victim < num_nodes:
+                    raise ValueError(
+                        "scenario {!r}: node victim {} outside the "
+                        "{}-node mesh".format(
+                            scenario.name, victim, num_nodes
+                        )
+                    )
+        else:
+            for src, dst in event.victims:
+                if (src, dst) not in network.links:
+                    raise ValueError(
+                        "scenario {!r}: link victim ({}, {}) is not a "
+                        "mesh edge".format(scenario.name, src, dst)
+                    )
+
+    def _schedule_event(self, event):
+        sim = self.platform.sim
+        for at in event.occurrence_times():
+            sim.schedule_at(
+                at,
+                lambda e=event: self._execute(e),
+                priority=sim.PRIORITY_CONTROL,
+            )
+
+    # -- interpretation ----------------------------------------------------
+
+    def _execute(self, event):
+        """Inject one occurrence of ``event`` at the current time."""
+        if event.kind == NODE:
+            victims = self._node_victims(event)
+            self._inject_nodes(victims)
+        else:
+            victims = [
+                normalize_edge(*edge)
+                for edge in self._link_victims_for(event)
+            ]
+            self._inject_links(victims)
+        if event.duration_us is None:
+            # A permanent claim sticks to every declared victim — even
+            # one currently down from a transient outage, whose pending
+            # recovery must no longer revive it.
+            self._permanent.update(
+                (event.kind, victim) for victim in victims
+            )
+        elif victims:
+            # The outage claims every declared victim, including one
+            # already down from an earlier transient — the later end
+            # time wins, so overlapping outages extend instead of the
+            # earliest recovery reviving everything.
+            sim = self.platform.sim
+            until = sim.now + event.duration_us
+            for victim in victims:
+                key = (event.kind, victim)
+                if until > self._outage_until.get(key, 0):
+                    self._outage_until[key] = until
+            sim.schedule_at(
+                until,
+                lambda k=event.kind, v=victims: self._recover(k, v),
+                priority=sim.PRIORITY_CONTROL,
+            )
+
+    def _inject_nodes(self, victims):
         controller = self.platform.controller
-        if victims is None:
-            rng = self.platform.sim.rng.stream("fault-injection")
-            alive = controller.alive_nodes()
-            count = min(count, len(alive))
-            victims = rng.sample(alive, count)
+        pes = self.platform.pes
+        killed = []
         for node_id in victims:
+            if pes[node_id].halted:
+                continue  # double injection of an already-dead node
             controller.inject_fault(node_id)
             self.victims.append(node_id)
+            killed.append(node_id)
+        return killed
+
+    def _inject_links(self, edges):
+        network = self.platform.network
+        failed = []
+        for src, dst in edges:
+            if network.link_failed(src, dst):
+                continue
+            network.fail_link(src, dst)
+            self.link_victims.append((src, dst))
+            failed.append((src, dst))
+        return failed
+
+    def _recover(self, kind, victims):
+        """Undo one occurrence's outage (the transient-fault back edge).
+
+        A victim stays down when a permanent event claimed it since the
+        outage began, or when a later-ending transient outage still
+        covers it — only the final claim's recovery revives.
+        """
+        now = self.platform.sim.now
+        controller = self.platform.controller
+        network = self.platform.network
+        pes = self.platform.pes
+        for victim in victims:
+            key = (kind, victim)
+            if key in self._permanent:
+                continue
+            if self._outage_until.get(key, 0) > now:
+                continue  # a longer overlapping outage still holds it
+            if kind == NODE:
+                if pes[victim].halted:
+                    controller.recover_node(victim)
+                    self.recovered.append((now, NODE, victim))
+            elif network.link_failed(*victim):
+                network.recover_link(*victim)
+                self.recovered.append((now, LINK, victim))
+
+    # -- victim selection --------------------------------------------------
+
+    def _node_victims(self, event):
+        """Node victims for one occurrence, drawn at injection time.
+
+        The uniform draw replicates the historic injector exactly —
+        same stream, ``min``-capped count, ``rng.sample`` over the
+        alive list — which is what keeps legacy ``fault_counts``
+        campaigns bit-identical under the scenario engine.
+        """
+        if event.victims is not None:
+            return event.victims
+        rng = self.platform.sim.rng.stream(FAULT_STREAM)
+        alive = self.platform.controller.alive_nodes()
+        if event.pattern == UNIFORM:
+            count = min(event.count, len(alive))
+            return rng.sample(alive, count)
+        candidates = self._pattern_candidates(event, alive)
+        if event.count is None:
+            return candidates
+        count = min(event.count, len(candidates))
+        return rng.sample(candidates, count)
+
+    def _pattern_candidates(self, event, alive):
+        """Alive nodes inside the event's spatial shape, id-ordered."""
+        topology = self.platform.network.topology
+        coords = topology.coords
+        if event.pattern == "row":
+            return [n for n in alive if coords(n)[1] == event.row]
+        if event.pattern == "column":
+            return [n for n in alive if coords(n)[0] == event.column]
+        if event.pattern == "region":
+            x0, y0, x1, y1 = event.region
+            return [
+                n for n in alive
+                if x0 <= coords(n)[0] <= x1 and y0 <= coords(n)[1] <= y1
+            ]
+        # neighbourhood: Manhattan ball around the centre node.
+        center = event.center
+        radius = event.radius
+        return [
+            n for n in alive if topology.manhattan(n, center) <= radius
+        ]
+
+    def _link_victims_for(self, event):
+        """Link victims for one occurrence (pinned pairs or a draw)."""
+        if event.victims is not None:
+            return [tuple(v) for v in event.victims]
+        network = self.platform.network
+        rng = self.platform.sim.rng.stream(FAULT_STREAM)
+        healthy = sorted(
+            edge
+            for edge in {
+                normalize_edge(a, b) for a, b in network.links
+            }
+            if not network.link_failed(*edge)
+        )
+        count = min(event.count, len(healthy))
+        return rng.sample(healthy, count)
 
     def __repr__(self):
-        return "FaultInjector(scheduled={}, injected={})".format(
-            self.scheduled, len(self.victims)
+        return (
+            "FaultInjector(scheduled={}, scenarios={}, injected={}, "
+            "links={}, recovered={})".format(
+                self.scheduled,
+                len(self.scenarios),
+                len(self.victims),
+                len(self.link_victims),
+                len(self.recovered),
+            )
         )

@@ -1,0 +1,325 @@
+"""Declarative fault scenarios.
+
+The seed reproduced one fault shape — "N random nodes fail permanently at
+one instant" (paper §IV-B).  A :class:`FaultScenario` generalises that into
+a JSON-loadable composition of :class:`FaultEvent` injections:
+
+* **permanent node kills** — the paper's shape (``kind="node"``);
+* **link failures** — a mesh edge dies and routing detours around it
+  (``kind="link"``);
+* **transient / intermittent faults** — ``duration_us`` recovers the
+  victims after an outage, ``repeats``/``period_us`` make the outage
+  strike again and again;
+* **timed waves** — ``repeats`` occurrences spaced ``period_us`` apart
+  with no ``duration_us``: k fresh victims per wave instead of one burst;
+* **spatial patterns** — victims drawn from a row, column, rectangular
+  region or Manhattan neighbourhood instead of uniformly from the mesh.
+
+The :class:`~repro.platform.faults.FaultInjector` interprets scenarios at
+runtime; campaigns carry them as a first-class axis whose content hash
+(:meth:`FaultScenario.key`) joins the cell key, so stores invalidate
+exactly when the injected faults change.
+
+Event schema (JSON)
+-------------------
+Every event is a dict; unknown keys are rejected.  Fields:
+
+``kind``
+    ``"node"`` (default) or ``"link"``.
+``at_us``
+    Injection time of the first occurrence (µs, required).
+``count``
+    Victims per occurrence.  Drawn from the pattern's candidate set at
+    injection time (faults hit the *running* system).  ``None`` with a
+    spatial pattern means "the whole set".
+``victims``
+    Pinned victim list instead of a draw: node ids, or ``[src, dst]``
+    pairs for links.  When ``count`` is also given the two must agree.
+``pattern`` / ``row`` / ``column`` / ``region`` / ``center`` / ``radius``
+    Victim-selection shape for node events: ``"uniform"`` (default),
+    ``"row"`` (needs ``row``), ``"column"`` (needs ``column``),
+    ``"region"`` (needs ``region = [x0, y0, x1, y1]``, inclusive) or
+    ``"neighborhood"`` (needs ``center``; ``radius`` defaults to 1).
+``duration_us``
+    Outage length; victims recover that long after each occurrence.
+    ``None`` means permanent.
+``repeats`` / ``period_us``
+    Total number of occurrences (default 1) and their spacing.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+NODE = "node"
+LINK = "link"
+KINDS = (NODE, LINK)
+
+UNIFORM = "uniform"
+PATTERNS = (UNIFORM, "row", "column", "region", "neighborhood")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One injection (possibly repeating) within a scenario."""
+
+    at_us: int
+    kind: str = NODE
+    count: int = None
+    victims: tuple = None
+    pattern: str = UNIFORM
+    row: int = None
+    column: int = None
+    region: tuple = None
+    center: int = None
+    radius: int = 1
+    duration_us: int = None
+    repeats: int = 1
+    period_us: int = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError("unknown fault kind {!r}".format(self.kind))
+        if self.at_us < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                "unknown victim pattern {!r}; known: {}".format(
+                    self.pattern, PATTERNS
+                )
+            )
+        if self.kind == LINK and self.pattern != UNIFORM:
+            raise ValueError(
+                "link events support only uniform draws or pinned victims"
+            )
+        if self.victims is not None:
+            if self.pattern != UNIFORM:
+                raise ValueError(
+                    "pinned victims cannot be combined with a spatial "
+                    "pattern (the pattern would be silently ignored)"
+                )
+            victims = tuple(
+                tuple(v) if isinstance(v, (list, tuple)) else v
+                for v in self.victims
+            )
+            object.__setattr__(self, "victims", victims)
+            if self.count is not None and self.count != len(victims):
+                raise ValueError(
+                    "count={} disagrees with {} pinned victims".format(
+                        self.count, len(victims)
+                    )
+                )
+            if self.kind == LINK and any(
+                not (isinstance(v, tuple) and len(v) == 2) for v in victims
+            ):
+                raise ValueError(
+                    "link victims must be [src, dst] endpoint pairs"
+                )
+        else:
+            if self.count is None and self.pattern == UNIFORM:
+                raise ValueError(
+                    "uniform events need a count (or pinned victims)"
+                )
+            if self.count is not None and self.count <= 0:
+                # A zero-count event injects nothing but would still set
+                # the settling/recovery boundary; omit it instead.
+                raise ValueError(
+                    "fault count must be positive (drop the event for "
+                    "a no-op)"
+                )
+        needs = {
+            "row": self.row,
+            "column": self.column,
+            "region": self.region,
+            "neighborhood": self.center,
+        }
+        if self.pattern in needs and needs[self.pattern] is None:
+            raise ValueError(
+                "pattern {!r} needs its {!r} parameter".format(
+                    self.pattern,
+                    "center" if self.pattern == "neighborhood"
+                    else self.pattern,
+                )
+            )
+        if self.region is not None:
+            region = tuple(int(c) for c in self.region)
+            if len(region) != 4:
+                raise ValueError("region must be [x0, y0, x1, y1]")
+            object.__setattr__(self, "region", region)
+        if self.radius < 0:
+            raise ValueError("neighbourhood radius must be >= 0")
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.repeats > 1 and (
+            self.period_us is None or self.period_us <= 0
+        ):
+            raise ValueError("repeating events need a positive period_us")
+
+    # -- timing ------------------------------------------------------------
+
+    def occurrence_times(self):
+        """Injection timestamps of every occurrence, in order."""
+        if self.repeats == 1:
+            return [self.at_us]
+        return [
+            self.at_us + i * self.period_us for i in range(self.repeats)
+        ]
+
+    def nominal_victims(self):
+        """Victims per occurrence as declared (None = pattern-sized)."""
+        if self.victims is not None:
+            return len(self.victims)
+        return self.count
+
+    # -- serialisation -----------------------------------------------------
+
+    #: Field-name -> default for every optional field, derived from the
+    #: dataclass itself (below the class body) so a field added later is
+    #: automatically serialised and content-hashed.
+    _DEFAULTS = None
+
+    def to_dict(self):
+        """Compact JSON dict: defaulted fields are omitted."""
+        data = {"at_us": self.at_us}
+        for field, default in self._DEFAULTS.items():
+            value = getattr(self, field)
+            if value != default:
+                if field in ("victims", "region"):
+                    value = [
+                        list(v) if isinstance(v, tuple) else v
+                        for v in value
+                    ]
+                data[field] = value
+        return data
+
+    def canonical(self):
+        """Fully explicit dict (every field) for content hashing."""
+        data = {"at_us": self.at_us}
+        for field in self._DEFAULTS:
+            value = getattr(self, field)
+            if field in ("victims", "region") and value is not None:
+                value = [
+                    list(v) if isinstance(v, tuple) else v for v in value
+                ]
+            data[field] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build an event from a plain dict; unknown keys are rejected."""
+        data = dict(data)
+        if "at_us" not in data:
+            raise ValueError("fault event needs 'at_us'")
+        kwargs = {"at_us": int(data.pop("at_us"))}
+        for field in cls._DEFAULTS:
+            if field in data:
+                kwargs[field] = data.pop(field)
+        if data:
+            raise ValueError(
+                "unknown fault event keys: {}".format(sorted(data))
+            )
+        return cls(**kwargs)
+
+
+FaultEvent._DEFAULTS = {
+    field.name: field.default
+    for field in dataclasses.fields(FaultEvent)
+    if field.name != "at_us"
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultScenario:
+    """A named, ordered composition of fault events."""
+
+    name: str
+    events: tuple = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("fault scenario needs a name")
+        events = tuple(
+            event if isinstance(event, FaultEvent)
+            else FaultEvent.from_dict(event)
+            for event in self.events
+        )
+        object.__setattr__(self, "events", events)
+
+    # -- queries -----------------------------------------------------------
+
+    def first_fault_us(self):
+        """Time of the earliest injection, or ``None`` with no events."""
+        if not self.events:
+            return None
+        return min(event.at_us for event in self.events)
+
+    def occurrence_count(self):
+        """Total scheduled occurrences across all events."""
+        return sum(event.repeats for event in self.events)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self):
+        """JSON-friendly dict; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def canonical(self):
+        """Fully explicit dict used for content hashing."""
+        return {
+            "name": self.name,
+            "events": [event.canonical() for event in self.events],
+        }
+
+    def key(self):
+        """Stable SHA-256 content hash of the scenario."""
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a scenario from a plain dict (e.g. a loaded JSON file)."""
+        data = dict(data)
+        name = data.pop("name", None)
+        if not name:
+            raise ValueError("fault scenario needs a 'name'")
+        events = data.pop("events", ())
+        if data:
+            raise ValueError(
+                "unknown fault scenario keys: {}".format(sorted(data))
+            )
+        return cls(name=name, events=tuple(events))
+
+    @classmethod
+    def from_json_file(cls, path):
+        """Load a scenario from a JSON file."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def burst(cls, count, at_us, name=None):
+        """The legacy shape: ``count`` uniform permanent kills at one
+        instant.  Interpreting this scenario draws from the same RNG
+        stream in the same order as the historic ``FaultInjector``
+        fast path, so results are bit-identical — including
+        ``count=0``, which is the legacy no-op (an empty scenario, so
+        it sets no settling/recovery boundary).
+        """
+        events = (
+            (FaultEvent(at_us=at_us, count=count),) if count else ()
+        )
+        return cls(
+            name=name or "burst-{}x@{}".format(count, at_us),
+            events=events,
+        )
+
+    def __repr__(self):
+        return "FaultScenario({!r}, {} events)".format(
+            self.name, len(self.events)
+        )

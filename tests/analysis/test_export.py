@@ -1,7 +1,6 @@
 """Tests for CSV/JSON export."""
 
 import csv
-import json
 
 import pytest
 

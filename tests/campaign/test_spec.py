@@ -130,6 +130,83 @@ class TestCampaignSpec:
         assert spec.seeds == (5,)
 
 
+class TestScenarioAxis:
+    def _scenario(self, name="blip"):
+        from repro.platform.scenario import FaultScenario
+
+        return FaultScenario(
+            name=name,
+            events=({"at_us": 50_000, "count": 2, "duration_us": 10_000},),
+        )
+
+    def test_scenarios_extend_the_fault_axis(self):
+        spec = _spec(scenarios=(self._scenario(),))
+        cells = spec.expand()
+        assert spec.size() == len(cells) == 2 * 2 * (2 + 1)
+        scenario_cells = [c for c in cells if c.scenario is not None]
+        assert len(scenario_cells) == 4
+        assert all(c.scenario.name == "blip" for c in scenario_cells)
+        assert all(c.cell()[2] == "blip" for c in scenario_cells)
+
+    def test_scenario_only_spec_allowed(self):
+        spec = _spec(fault_counts=(), scenarios=(self._scenario(),))
+        assert spec.size() == 4
+        assert all(c.scenario is not None for c in spec.expand())
+
+    def test_empty_fault_axis_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(fault_counts=(), scenarios=())
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(scenarios=(self._scenario(), self._scenario()))
+
+    def test_scenarios_coerced_from_dicts(self):
+        spec = _spec(
+            scenarios=(
+                {
+                    "name": "cut",
+                    "events": [{"at_us": 1000, "kind": "link", "count": 1}],
+                },
+            )
+        )
+        assert spec.scenarios[0].events[0].kind == "link"
+
+    def test_round_trip_with_scenarios(self):
+        spec = _spec(scenarios=(self._scenario(),))
+        clone = CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert clone == spec
+
+    def test_to_dict_omits_empty_scenarios(self):
+        assert "scenarios" not in _spec().to_dict()
+
+    def test_from_dict_scenarios_without_fault_counts(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "s",
+                "models": ["none"],
+                "seeds": [1],
+                "scenarios": [
+                    {"name": "blip", "events": [{"at_us": 10, "count": 1}]}
+                ],
+            }
+        )
+        assert spec.fault_counts == ()  # no implicit zero-fault cell
+        assert spec.size() == 1
+
+    def test_scenario_changes_the_cell_key(self, small):
+        base = RunDescriptor("none", 1, 0, small)
+        blip = RunDescriptor(
+            "none", 1, 0, small, scenario=self._scenario()
+        )
+        renamed = RunDescriptor(
+            "none", 1, 0, small, scenario=self._scenario(name="blip2")
+        )
+        assert len({base.key(), blip.key(), renamed.key()}) == 3
+
+
 class TestDescriptorKeys:
     def test_key_is_stable(self, small):
         a = RunDescriptor("none", 1, 0, small)
@@ -191,5 +268,5 @@ class TestDescriptorKeys:
     def test_job_matches_runner_tuple(self, small):
         descriptor = RunDescriptor("none", 3, 2, small, keep_series=True)
         assert descriptor.job() == (
-            "none", 3, 2, small, "joins", True
+            "none", 3, 2, small, "joins", True, None
         )

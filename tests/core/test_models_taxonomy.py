@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.models import MODEL_REGISTRY, create_model
 from repro.core.models.base import FACTORS, IntelligenceModel
-from repro.core.models.registry import MODEL_ALIASES, resolve_model_name
+from repro.core.models.registry import resolve_model_name
 
 
 def test_all_six_figure1_classes_plus_baseline_registered():

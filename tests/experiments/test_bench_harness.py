@@ -1,7 +1,5 @@
 """Tests for the benchmark harness helpers."""
 
-import pytest
-
 from benchmarks.harness import (
     MODELS,
     TABLE2_FAULTS,

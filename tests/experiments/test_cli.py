@@ -33,6 +33,63 @@ def test_run_with_faults_small(capsys):
     assert "recovery_time_ms" in capsys.readouterr().out
 
 
+def test_run_with_scenario_file(capsys, tmp_path):
+    scenario_file = tmp_path / "blip.json"
+    scenario_file.write_text(json.dumps({
+        "name": "blip",
+        "events": [
+            {"at_us": 100_000, "count": 2, "duration_us": 20_000},
+            {"at_us": 120_000, "kind": "link", "count": 1},
+        ],
+    }))
+    out_file = tmp_path / "run.json"
+    code = main([
+        "run", "--model", "none", "--seed", "3", "--small",
+        "--scenario", str(scenario_file), "--json", str(out_file),
+    ])
+    assert code == 0
+    assert "scenario" in capsys.readouterr().out
+    payload = json.loads(out_file.read_text())
+    assert payload["row"]["scenario"] == "blip"
+
+
+def test_run_rejects_faults_plus_scenario(tmp_path):
+    scenario_file = tmp_path / "blip.json"
+    scenario_file.write_text(json.dumps({
+        "name": "blip", "events": [{"at_us": 1000, "count": 1}],
+    }))
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--small", "--faults", "2",
+            "--scenario", str(scenario_file),
+        ])
+
+
+def test_campaign_spec_with_scenarios(capsys, tmp_path):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({
+        "name": "scenario-sweep",
+        "models": ["none"],
+        "seeds": [1],
+        "base": "small",
+        "config": {"horizon_us": 100_000},
+        "scenarios": [
+            {"name": "blip",
+             "events": [{"at_us": 50_000, "count": 2}]},
+        ],
+    }))
+    code = main([
+        "campaign", "--spec", str(spec_file),
+        "--dir", str(tmp_path / "store"), "--processes", "0",
+    ])
+    assert code == 0
+    rows = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert rows and all(row["scenario"] == "blip" for row in rows)
+
+
 def test_parser_table2_fault_list():
     args = build_parser().parse_args(["table2", "--faults", "0,8"])
     assert args.faults == "0,8"

@@ -6,7 +6,6 @@ only the fast examples run here.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -5,7 +5,6 @@ layout or fault set — the kind of guarantees a downstream user relies on
 without reading the implementation.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.noc.network import Network

@@ -5,7 +5,6 @@ import pytest
 from repro.noc.network import Network
 from repro.noc.packet import Packet, PacketStatus
 from repro.noc.topology import MeshTopology
-from repro.sim.engine import Simulator
 
 
 @pytest.fixture
@@ -81,6 +80,58 @@ def test_all_providers_vanish_drops_packet(net, sim):
     sim.schedule(1, lambda: net.directory.set_task(3, 1))
     sim.run_until(10_000)
     assert packet.status == PacketStatus.DROPPED_NO_PROVIDER
+
+
+def test_delivery_routes_around_failed_link(net, sim):
+    net.directory.set_task(3, 2)
+    net.fail_link(0, 1)
+    packet = Packet(src_node=0, dest_task=2)
+    net.send(packet, 0)
+    sim.run_until(10_000)
+    assert packet.status == PacketStatus.DELIVERED
+    assert packet.hops > net.topology.manhattan(0, 3)
+
+
+def test_fail_link_requires_adjacency(net):
+    with pytest.raises(KeyError):
+        net.fail_link(0, 5)
+
+
+def test_recover_link_restores_delivery_path(net, sim):
+    net.directory.set_task(3, 2)
+    net.fail_link(0, 1)
+    net.recover_link(1, 0)  # either endpoint order works
+    assert not net.failed_links
+    assert net.link(0, 1).enabled
+    packet = Packet(src_node=0, dest_task=2)
+    net.send(packet, 0)
+    sim.run_until(10_000)
+    assert packet.status == PacketStatus.DELIVERED
+    assert packet.hops == net.topology.manhattan(0, 3)
+
+
+def test_recover_node_restores_routing(net, sim):
+    net.directory.set_task(3, 2)
+    net.fail_node(1)
+    net.recover_node(1)
+    assert 1 not in net.failed_nodes
+    assert not net.router(1).failed
+    packet = Packet(src_node=0, dest_task=2)
+    net.send(packet, 0)
+    sim.run_until(10_000)
+    assert packet.status == PacketStatus.DELIVERED
+    assert packet.hops == net.topology.manhattan(0, 3)
+
+
+def test_link_fault_events_traced(sim):
+    from repro.sim.trace import TraceRecorder
+
+    trace = TraceRecorder(("link_failed", "link_recovered"))
+    network = Network(sim, topology=MeshTopology(4, 4), trace=trace)
+    network.fail_link(0, 1)
+    network.recover_link(0, 1)
+    assert trace.count("link_failed") == 1
+    assert trace.count("link_recovered") == 1
 
 
 def test_delivery_routes_around_faults(net, sim):

@@ -1,7 +1,5 @@
 """Deadlock recovery and drop-notification behaviour of the network."""
 
-import pytest
-
 from repro.noc.network import Network
 from repro.noc.packet import Packet, PacketStatus
 from repro.noc.topology import MeshTopology

@@ -167,6 +167,46 @@ class TestRoutingPolicy:
         assert policy.next_direction(5, 5) is None
 
 
+class TestFailedLinks:
+    def test_detour_around_failed_link(self, mesh):
+        policy = RoutingPolicy(mesh)
+        a, b = mesh.node_id(0, 0), mesh.node_id(1, 0)
+        policy.set_failed_links({(a, b)})
+        path = policy.path(a, mesh.node_id(4, 0))
+        assert path[1] != b  # forced off the direct edge
+        assert path[-1] == mesh.node_id(4, 0)
+
+    def test_edge_normalisation_both_orders(self, mesh):
+        policy = RoutingPolicy(mesh)
+        a, b = mesh.node_id(1, 0), mesh.node_id(0, 0)
+        policy.set_failed_links({(a, b)})  # high-low order
+        assert not policy._edge_ok(b, a)
+        assert not policy._edge_ok(a, b)
+
+    def test_link_recovery_restores_xy(self, mesh):
+        policy = RoutingPolicy(mesh)
+        a, b = mesh.node_id(0, 0), mesh.node_id(1, 0)
+        policy.set_failed_links({(a, b)})
+        policy.set_failed_links(set())
+        assert policy.path(a, mesh.node_id(4, 0))[1] == b
+
+    def test_fully_cut_node_unroutable(self):
+        mesh = MeshTopology(3, 1)  # a line: 0 - 1 - 2
+        policy = RoutingPolicy(mesh)
+        policy.set_failed_links({(0, 1)})
+        with pytest.raises(UnroutableError):
+            policy.next_direction(0, 2)
+
+    def test_minimal_directions_avoid_failed_links(self, mesh):
+        policy = RoutingPolicy(mesh)
+        src = mesh.node_id(1, 1)
+        dest = mesh.node_id(3, 3)
+        east = mesh.node_id(2, 1)
+        assert policy.minimal_directions(src, dest) == [EAST, SOUTH]
+        policy.set_failed_links({(src, east)})
+        assert policy.minimal_directions(src, dest) == [SOUTH]
+
+
 @settings(max_examples=30)
 @given(
     src=st.integers(min_value=0, max_value=63),
@@ -187,3 +227,30 @@ def test_policy_paths_avoid_failed_nodes(src, dst, faults):
     assert path[0] == src
     assert path[-1] == dst
     assert len(path) >= mesh.manhattan(src, dst) + 1
+
+
+@settings(max_examples=30)
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    cuts=st.sets(st.integers(min_value=0, max_value=63), max_size=6),
+)
+def test_policy_paths_avoid_failed_links(src, dst, cuts):
+    """Whenever a path exists it must not cross failed edges."""
+    mesh = MeshTopology(8, 8)
+    edges = set()
+    for node in cuts:
+        neighbor = mesh.neighbor(node, EAST) or mesh.neighbor(node, WEST)
+        edges.add((min(node, neighbor), max(node, neighbor)))
+    policy = RoutingPolicy(mesh)
+    policy.set_failed_links(edges)
+    try:
+        path = policy.path(src, dst)
+    except UnroutableError:
+        return  # disconnected is an acceptable outcome
+    hops = {
+        (min(a, b), max(a, b)) for a, b in zip(path, path[1:])
+    }
+    assert not (hops & edges)
+    assert path[0] == src
+    assert path[-1] == dst

@@ -1,7 +1,5 @@
 """Tests for the assembled Centurion platform."""
 
-import pytest
-
 from repro.platform.centurion import CenturionPlatform
 from repro.platform.config import PlatformConfig
 

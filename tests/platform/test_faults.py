@@ -46,6 +46,24 @@ def test_explicit_victims_pinned(platform):
     assert platform.faults.victims == [3, 7]
 
 
+def test_count_and_victims_must_agree(platform):
+    with pytest.raises(ValueError):
+        platform.faults.schedule(2, at_us=10_000, victims=[3, 7, 9])
+    with pytest.raises(ValueError):
+        platform.faults.schedule(4, at_us=10_000, victims=[3])
+    # Nothing was scheduled by the rejected calls.
+    assert platform.faults.scheduled == []
+
+
+def test_scheduled_records_pinned_victims(platform):
+    platform.faults.schedule(2, at_us=10_000, victims=[3, 7])
+    platform.faults.schedule(1, at_us=20_000)
+    assert platform.faults.scheduled == [
+        (10_000, 2, (3, 7)),
+        (20_000, 1, None),
+    ]
+
+
 def test_zero_faults_is_noop(platform):
     platform.faults.schedule(0, at_us=10_000)
     platform.sim.run_until(20_000)

@@ -1,0 +1,163 @@
+"""Tests for the declarative fault-scenario model."""
+
+import json
+
+import pytest
+
+from repro.platform.scenario import FaultEvent, FaultScenario
+
+
+class TestFaultEventValidation:
+    def test_minimal_uniform_event(self):
+        event = FaultEvent(at_us=100, count=3)
+        assert event.kind == "node"
+        assert event.occurrence_times() == [100]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, kind="gamma-ray", count=1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=-1, count=1)
+
+    def test_uniform_needs_count_or_victims(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0)
+
+    def test_count_victims_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=2, victims=(1, 2, 3))
+
+    def test_count_victims_agreement_accepted(self):
+        event = FaultEvent(at_us=0, count=3, victims=(1, 2, 3))
+        assert event.nominal_victims() == 3
+
+    def test_pattern_needs_its_parameter(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, pattern="row")
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, pattern="column")
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, pattern="region")
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, pattern="neighborhood")
+
+    def test_region_shape_checked(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, pattern="region", region=(0, 0, 1))
+
+    def test_victims_reject_spatial_patterns(self):
+        # A pinned list would silently override the pattern otherwise —
+        # the same hidden-mistake class as count vs victims.
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, victims=(1, 2), pattern="row", row=3)
+
+    def test_link_events_reject_spatial_patterns(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, kind="link", count=1, pattern="row", row=0)
+
+    def test_link_victims_must_be_pairs(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, kind="link", victims=(3,))
+        event = FaultEvent(at_us=0, kind="link", victims=((0, 1), (4, 5)))
+        assert event.victims == ((0, 1), (4, 5))
+
+    def test_repeats_need_period(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, repeats=3)
+        event = FaultEvent(at_us=10, count=1, repeats=3, period_us=5)
+        assert event.occurrence_times() == [10, 15, 20]
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=1, duration_us=0)
+
+
+class TestScenarioModel:
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            FaultScenario(name="", events=())
+
+    def test_events_coerced_from_dicts(self):
+        scenario = FaultScenario(
+            name="mixed",
+            events=(
+                {"at_us": 100, "count": 2},
+                {"at_us": 50, "kind": "link", "count": 1},
+            ),
+        )
+        assert all(isinstance(e, FaultEvent) for e in scenario.events)
+        assert scenario.first_fault_us() == 50
+        assert scenario.occurrence_count() == 2
+
+    def test_empty_scenario_has_no_first_fault(self):
+        assert FaultScenario(name="calm").first_fault_us() is None
+
+    def test_burst_shape(self):
+        scenario = FaultScenario.burst(8, 500_000)
+        (event,) = scenario.events
+        assert event.count == 8
+        assert event.at_us == 500_000
+        assert event.duration_us is None
+        assert event.pattern == "uniform"
+
+    def test_zero_burst_is_the_legacy_noop(self):
+        scenario = FaultScenario.burst(0, 500_000)
+        assert scenario.events == ()
+        assert scenario.first_fault_us() is None
+
+    def test_zero_count_event_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_us=0, count=0)
+
+
+class TestScenarioSerialisation:
+    def _wavy(self):
+        return FaultScenario(
+            name="wavy",
+            events=(
+                FaultEvent(at_us=100, count=2, repeats=3, period_us=50),
+                FaultEvent(
+                    at_us=200, kind="link", victims=((0, 1),),
+                    duration_us=40,
+                ),
+                FaultEvent(at_us=300, pattern="row", row=1, count=None),
+            ),
+        )
+
+    def test_round_trip(self):
+        scenario = self._wavy()
+        clone = FaultScenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        )
+        assert clone == scenario
+        assert clone.key() == scenario.key()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            FaultScenario.from_dict({"name": "x", "events": [], "whoops": 1})
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"at_us": 0, "count": 1, "whoops": 1})
+
+    def test_to_dict_omits_defaults(self):
+        event = FaultEvent(at_us=10, count=2)
+        assert event.to_dict() == {"at_us": 10, "count": 2}
+
+    def test_key_sensitive_to_every_field(self):
+        base = self._wavy()
+        renamed = FaultScenario(name="wavy2", events=base.events)
+        retimed = FaultScenario(
+            name="wavy",
+            events=(
+                FaultEvent(at_us=101, count=2, repeats=3, period_us=50),
+            ) + base.events[1:],
+        )
+        keys = {base.key(), renamed.key(), retimed.key()}
+        assert len(keys) == 3
+
+    def test_from_json_file(self, tmp_path):
+        scenario = self._wavy()
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario.to_dict()))
+        assert FaultScenario.from_json_file(str(path)) == scenario

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import EventQueue, SimulationError, Simulator
+from repro.sim.engine import EventQueue, SimulationError
 
 
 class TestEventQueue:
