@@ -7,6 +7,16 @@ RUFF_VERSION ?= 0.8.4
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+# Coverage gate (CI `coverage` job): the tier-1 suite must cover at
+# least 80% of src/repro.  Needs pytest-cov (CI installs it; locally:
+# pip install pytest-cov).
+coverage:
+	@PYTHONPATH=src $(PYTHON) -c "import pytest_cov" 2>/dev/null || { \
+		echo "pytest-cov not found — install with: pip install pytest-cov"; \
+		exit 1; }
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro \
+		--cov-report=term-missing:skip-covered --cov-fail-under=80
+
 # Static checks; configuration lives in pyproject.toml.
 lint:
 	@command -v ruff >/dev/null 2>&1 || { \
@@ -29,4 +39,4 @@ bench-baseline:
 campaign-smoke:
 	$(PYTHON) -m benchmarks.harness --campaign-smoke
 
-.PHONY: test lint bench bench-baseline campaign-smoke
+.PHONY: test lint coverage bench bench-baseline campaign-smoke

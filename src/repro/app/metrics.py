@@ -11,7 +11,13 @@ records, per window:
   churn visible in Figure 4's distribution panels);
 * ``census`` — nodes per task (the task-distribution lines, whose settled
   levels are the 1:3:1 ≈ 25/75/25 of the paper's panels);
-* ``alive_nodes`` — surviving node count (drops at fault injection).
+* ``alive_nodes`` — surviving node count (drops at fault injection);
+* ``corrupted_deliveries`` — packets delivered corrupted in the window
+  (fault taxonomy v2): the payload reached a node but was discarded, so
+  the window's QoS loss is visible even though the NoC counted a
+  delivery.  The column is held outside :attr:`MetricsSeries.COLUMNS`
+  and exported only when non-zero somewhere, keeping series produced by
+  corruption-free runs byte-identical to earlier releases.
 """
 
 from repro.sim.process import PeriodicProcess
@@ -35,10 +41,18 @@ class MetricsSeries:
         for column in self.COLUMNS:
             setattr(self, column, [])
         self.census = {tid: [] for tid in self.task_ids}
+        self.corrupted_deliveries = []
 
     def append(self, **values):
-        """Append one window's values (census passed as a dict)."""
+        """Append one window's values (census passed as a dict).
+
+        ``corrupted_deliveries`` is optional (defaults to 0) so callers
+        predating the corruption fault kind keep working unchanged.
+        """
         census = values.pop("census")
+        self.corrupted_deliveries.append(
+            values.pop("corrupted_deliveries", 0)
+        )
         for column in self.COLUMNS:
             getattr(self, column).append(values[column])
         for tid in self.task_ids:
@@ -69,26 +83,41 @@ class MetricsSeries:
         return sum(selected) / len(selected)
 
     def as_dict(self):
-        """Plain-dict export (JSON-friendly)."""
+        """Plain-dict export (JSON-friendly).
+
+        ``corrupted_deliveries`` joins the export only when a corruption
+        fault actually struck: an all-zero column is omitted so series
+        (and the campaign-store records built from them) from runs
+        without corruption stay byte-identical to earlier releases.
+        """
         data = {column: list(getattr(self, column)) for column in self.COLUMNS}
+        if any(self.corrupted_deliveries):
+            data["corrupted_deliveries"] = list(self.corrupted_deliveries)
         data["census"] = {tid: list(v) for tid, v in self.census.items()}
         return data
 
 
 class MetricsSampler:
-    """Periodic sampler over the platform's PEs and workload."""
+    """Periodic sampler over the platform's PEs and workload.
 
-    def __init__(self, sim, pes, directory, workload, window_us=10_000):
+    ``network`` is optional: when given, the sampler also tracks the
+    per-window corrupted-delivery count from the network's statistics.
+    """
+
+    def __init__(self, sim, pes, directory, workload, window_us=10_000,
+                 network=None):
         self.sim = sim
         self.pes = list(pes)
         self.directory = directory
         self.workload = workload
+        self.network = network
         self.window_us = window_us
         task_ids = workload.graph.task_ids()
         self.series = MetricsSeries(task_ids)
         self._last_sink_execs = 0
         self._last_joins = 0
         self._last_switches = 0
+        self._last_corrupted = 0
         self._process = PeriodicProcess(
             sim, window_us, self._sample, priority=sim.PRIORITY_SAMPLE
         )
@@ -123,6 +152,10 @@ class MetricsSampler:
         joins_total = self.workload.joins
         switches_total = sum(pe.task_switches for pe in self.pes)
         alive = sum(1 for pe in self.pes if not pe.halted)
+        corrupted_total = (
+            self.network.stats.get("delivered_corrupted", 0)
+            if self.network is not None else 0
+        )
         self.series.append(
             time_ms=self.sim.now / 1000.0,
             active_nodes=active,
@@ -131,8 +164,10 @@ class MetricsSampler:
             joins=joins_total - self._last_joins,
             task_switches=switches_total - self._last_switches,
             alive_nodes=alive,
+            corrupted_deliveries=corrupted_total - self._last_corrupted,
             census=self.directory.task_census(),
         )
         self._last_sink_execs = sink_total
         self._last_joins = joins_total
         self._last_switches = switches_total
+        self._last_corrupted = corrupted_total

@@ -53,6 +53,15 @@ injected faults — timing, counts, patterns, durations, even the
 scenario's name — mints a new key and invalidates the stored cell.
 Legacy fault-count cells omit the entry entirely, which keeps every key
 minted before the scenario axis existed valid: old stores keep hitting.
+
+The fault-taxonomy-v2 event kinds (``link_degrade``, ``corrupt``,
+``controller``, hazard-rate storms) join the same contract one level
+down: their fields (``factor``, ``hazard_per_us``, ``horizon_us``)
+enter the scenario's canonical dict *only when set*
+(:attr:`~repro.platform.scenario.FaultEvent._CANONICAL_OPTIONAL`), so
+every scenario written before those kinds existed canonicalises — and
+hashes — to the byte-identical payload it always had, while any event
+that does use a v2 field mints a distinct key.
 """
 
 from repro.campaign.executor import CampaignReport, run_campaign

@@ -55,7 +55,12 @@ class RunDescriptor:
 
         The scenario joins the payload only when present, so every key
         minted before the scenario axis existed is unchanged — legacy
-        stores keep hitting.
+        stores keep hitting.  Within the scenario entry the same rule
+        recurses: fault-taxonomy-v2 event fields (``factor``,
+        ``hazard_per_us``, ``horizon_us``) canonicalise only when set
+        (:attr:`~repro.platform.scenario.FaultEvent._CANONICAL_OPTIONAL`),
+        so pre-v2 scenario cells keep their PR 3 keys byte-for-byte
+        while any event using a v2 kind mints a fresh key.
         """
         payload = {
             "schema": HASH_SCHEMA_VERSION,

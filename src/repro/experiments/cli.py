@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``):
 
     python -m repro.experiments.cli run --model ffw --seed 7 --faults 42
     python -m repro.experiments.cli run --model ni --scenario waves.json
+    python -m repro.experiments.cli scenario storm.json --small
     python -m repro.experiments.cli table1 --runs 20 --processes 8
     python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32 --resume
     python -m repro.experiments.cli figure4 --seed 42
@@ -97,6 +98,18 @@ def build_parser():
     f4_p.add_argument("--seed", type=int, default=42)
     _add_sweep_arguments(f4_p, "figure4")
     f4_p.add_argument("--json", metavar="FILE")
+
+    s_p = sub.add_parser(
+        "scenario",
+        help="validate a JSON fault scenario and print its schedule + key",
+    )
+    s_p.add_argument("file", metavar="FILE", help="scenario JSON file")
+    s_p.add_argument("--small", action="store_true",
+                     help="validate victims against the 4x4 grid instead "
+                          "of full Centurion")
+    s_p.add_argument("--seed", type=int, default=1,
+                     help="seed used to preview hazard-storm draws")
+    s_p.add_argument("--json", metavar="FILE")
 
     c_p = sub.add_parser(
         "campaign", help="run a declarative sweep with a persistent store"
@@ -227,6 +240,58 @@ def cmd_figure4(args):
     return 0
 
 
+def cmd_scenario(args):
+    """``scenario`` subcommand: lint a fault scenario without running it.
+
+    Loads the file (schema validation), applies it to a throwaway
+    platform (topology validation of pinned victims, hazard-storm time
+    draws at the given seed) and prints the occurrence schedule plus the
+    content-hash key that would join campaign cell keys.
+    """
+    from repro.platform.centurion import CenturionPlatform
+
+    scenario = FaultScenario.from_json_file(args.file)
+    config = PlatformConfig.small() if args.small else PlatformConfig()
+    platform = CenturionPlatform(config, model_name="none", seed=args.seed)
+    platform.inject_scenario(scenario)  # raises on malformed victims
+    print("name                     {}".format(scenario.name))
+    print("key                      {}".format(scenario.key()))
+    print("events                   {}".format(len(scenario.events)))
+    print("first_fault_us           {}".format(scenario.first_fault_us()))
+    # Storm previews replay the hazard stream on a fresh simulator (the
+    # platform's own stream was consumed by inject_scenario): one stream
+    # shared across storm events in declaration order, exactly like the
+    # injector draws it.
+    from repro.platform.faults import HAZARD_STREAM
+    from repro.sim.engine import Simulator
+
+    hazard_rng = Simulator(seed=args.seed).rng.stream(HAZARD_STREAM)
+    events = []
+    for index, event in enumerate(scenario.events):
+        if event.is_storm():
+            times = event.occurrence_times(hazard_rng)
+            shape = "storm({}/us over {}..{}us)".format(
+                event.hazard_per_us, event.at_us, event.horizon_us
+            )
+        else:
+            times = event.occurrence_times()
+            shape = "fixed"
+        print(
+            "event[{}]                 kind={} {} occurrences={} "
+            "at={}".format(index, event.kind, shape, len(times),
+                           times[:8] + ["..."] if len(times) > 8 else times)
+        )
+        events.append(
+            {"kind": event.kind, "occurrences": times,
+             "canonical": event.canonical()}
+        )
+    _dump_json(
+        args.json,
+        {"name": scenario.name, "key": scenario.key(), "events": events},
+    )
+    return 0
+
+
 def cmd_campaign(args):
     """``campaign`` subcommand: spec file or canonical paper campaign."""
     if args.spec:
@@ -265,6 +330,7 @@ COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
     "figure4": cmd_figure4,
+    "scenario": cmd_scenario,
     "campaign": cmd_campaign,
 }
 

@@ -33,12 +33,14 @@ class Link:
         "src",
         "dst",
         "flit_time",
+        "nominal_flit_time",
         "wire_latency",
         "busy_until",
         "packets_carried",
         "flits_carried",
         "total_wait",
         "enabled",
+        "corrupting",
     )
 
     def __init__(self, src, dst, flit_time=1, wire_latency=1):
@@ -47,12 +49,16 @@ class Link:
         self.src = src
         self.dst = dst
         self.flit_time = flit_time
+        #: Healthy timing, restored when a degradation recovers.
+        self.nominal_flit_time = flit_time
         self.wire_latency = wire_latency
         self.busy_until = 0
         self.packets_carried = 0
         self.flits_carried = 0
         self.total_wait = 0
         self.enabled = True
+        #: While set, packets claiming the channel are flagged corrupted.
+        self.corrupting = False
 
     def queue_delay(self, now):
         """How long a packet arriving now would wait for the channel."""
@@ -88,6 +94,33 @@ class Link:
         before the outage still models a packet owning the wire.
         """
         self.enabled = True
+
+    def degrade(self, factor):
+        """Stretch the channel's flit time by ``factor`` (partial fault).
+
+        The degraded timing is quantised to the integer microsecond
+        clock (floored at 1 µs) so hop arrival times stay integers and
+        the express hop engine's inline clock advance remains
+        bit-identical to event scheduling.  Claims already holding the
+        wire are unaffected; the slower timing applies from the next
+        :meth:`transfer` on.  The factor is always applied to the
+        *nominal* timing — calls do not stack; the link is a dumb
+        actuator and the
+        :class:`~repro.platform.faults.FaultInjector` arbitrates
+        overlapping degrade claims (worst active factor governs).
+        """
+        if not factor > 1:
+            raise ValueError("degrade factor must be > 1")
+        self.flit_time = max(1, int(round(self.nominal_flit_time * factor)))
+
+    def restore_timing(self):
+        """Undo a degradation: flit time returns to the nominal value."""
+        self.flit_time = self.nominal_flit_time
+
+    @property
+    def degraded(self):
+        """True while the channel runs slower than its nominal timing."""
+        return self.flit_time != self.nominal_flit_time
 
     def utilisation(self, now):
         """Fraction of time spent transferring, measured up to ``now``."""

@@ -111,6 +111,10 @@ class Network:
             trace if trace is not None and trace.enabled("packet_dropped")
             else None
         )
+        self._trace_corrupted = (
+            trace if trace is not None and trace.enabled("packet_corrupted")
+            else None
+        )
         prototype = router_config if router_config is not None else RouterConfig()
         self.routers = {
             node: Router(node, prototype.copy())
@@ -133,6 +137,10 @@ class Network:
         self.failed_nodes = set()
         #: Failed mesh edges, normalised to ``(lo, hi)`` node pairs.
         self.failed_links = set()
+        #: Degraded mesh edges: normalised edge -> active flit-time factor.
+        self.degraded_links = {}
+        #: Mesh edges currently corrupting the packets that cross them.
+        self.corrupting_links = set()
         #: Hops executed inline by the express engine (diagnostic only —
         #: deliberately kept out of ``stats`` so fast/slow runs compare
         #: equal on the experiment-facing counters).
@@ -228,6 +236,88 @@ class Network:
     def link_failed(self, a, b):
         """True when the mesh edge ``a — b`` is currently failed."""
         return normalize_edge(a, b) in self.failed_links
+
+    def degrade_link(self, a, b, factor):
+        """Slow the mesh edge ``a — b`` down (both channel directions).
+
+        A partial failure: the edge stays routable — XY routes keep
+        using it and the BFS detour table ignores it — but every packet
+        crossing it holds the wire ``factor`` times longer, which the
+        adaptive routing mode and the congestion-sensing models feel as
+        persistent local congestion.  Re-degrading an already-degraded
+        edge re-applies the (nominal-based) factor — calls do not
+        stack.  Overlap arbitration (worst active claim governs, expiry
+        re-evaluates the rest) lives in the
+        :class:`~repro.platform.faults.FaultInjector`.
+        """
+        if (a, b) not in self.links:
+            raise KeyError("nodes {} and {} are not adjacent".format(a, b))
+        edge = normalize_edge(a, b)
+        self.degraded_links[edge] = factor
+        self.links[(a, b)].degrade(factor)
+        self.links[(b, a)].degrade(factor)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_degraded",
+                src=edge[0], dst=edge[1], factor=factor,
+            )
+
+    def restore_link(self, a, b):
+        """Undo a degradation; the edge returns to its nominal timing."""
+        edge = normalize_edge(a, b)
+        if edge not in self.degraded_links:
+            return
+        del self.degraded_links[edge]
+        self.links[(a, b)].restore_timing()
+        self.links[(b, a)].restore_timing()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_degrade_recovered",
+                src=edge[0], dst=edge[1],
+            )
+
+    def link_degraded(self, a, b):
+        """True when the mesh edge ``a — b`` is currently degraded."""
+        return normalize_edge(a, b) in self.degraded_links
+
+    def corrupt_link(self, a, b):
+        """Mark the mesh edge ``a — b`` as corrupting (both directions).
+
+        Packets that cross the edge are still carried — the wire time is
+        spent and delivery is counted — but arrive flagged
+        ``corrupted``, so the node discards the payload and the
+        application-level metrics record the miss.
+        """
+        if (a, b) not in self.links:
+            raise KeyError("nodes {} and {} are not adjacent".format(a, b))
+        edge = normalize_edge(a, b)
+        if edge in self.corrupting_links:
+            return
+        self.corrupting_links.add(edge)
+        self.links[(a, b)].corrupting = True
+        self.links[(b, a)].corrupting = True
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_corrupting", src=edge[0], dst=edge[1]
+            )
+
+    def clean_link(self, a, b):
+        """Stop the mesh edge ``a — b`` corrupting traffic."""
+        edge = normalize_edge(a, b)
+        if edge not in self.corrupting_links:
+            return
+        self.corrupting_links.discard(edge)
+        self.links[(a, b)].corrupting = False
+        self.links[(b, a)].corrupting = False
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "link_corrupt_recovered",
+                src=edge[0], dst=edge[1],
+            )
+
+    def link_corrupting(self, a, b):
+        """True when the mesh edge ``a — b`` currently corrupts packets."""
+        return normalize_edge(a, b) in self.corrupting_links
 
     # -- sending ---------------------------------------------------------------------
 
@@ -453,6 +543,8 @@ class Network:
         router.ports[direction].packets_out += 1
         departure = now + router.config.router_latency
         arrival_time = link.transfer(packet, departure)
+        if link.corrupting:
+            packet.corrupted = True
         packet.hops += 1
         self.stats["hops"] += 1
         return neighbor, in_port, arrival_time
@@ -499,6 +591,26 @@ class Network:
                 task=packet.dest_task,
                 hops=packet.hops,
             )
+        if packet.corrupted:
+            # The flits arrived (delivery is counted, the router sank the
+            # packet) but the payload is garbage: the node discards it, so
+            # the execution it would have fed never happens — that lost
+            # work is the QoS miss the metrics layer accounts.  The stats
+            # key is created lazily so runs without corruption faults keep
+            # the exact counter dict (and stored-record bytes) of old.
+            self.stats["delivered_corrupted"] = (
+                self.stats.get("delivered_corrupted", 0) + 1
+            )
+            router.corrupted_sunk += 1
+            if self._trace_corrupted is not None:
+                self._trace_corrupted.record(
+                    self.sim.now,
+                    "packet_corrupted",
+                    packet=packet.packet_id,
+                    node=node,
+                    task=packet.dest_task,
+                )
+            return
         if self.deliver_handler is not None:
             self.deliver_handler(packet, node)
 

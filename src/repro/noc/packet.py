@@ -70,6 +70,7 @@ class Packet:
         "delivered_at",
         "payload",
         "tried",
+        "corrupted",
     )
 
     def __init__(self, src_node, dest_task, size_flits=4, created_at=0,
@@ -90,6 +91,10 @@ class Packet:
         self.status = PacketStatus.IN_FLIGHT
         self.delivered_at = None
         self.payload = payload
+        #: Set when the packet crossed a corrupting link: the flits still
+        #: arrive (the wire time is spent, delivery is counted) but the
+        #: payload is garbage — the application must treat it as a miss.
+        self.corrupted = False
         #: Providers whose full buffers already bounced this packet; the
         #: backpressure search never revisits them, so a packet hunting for
         #: capacity expands outward instead of ping-ponging between two

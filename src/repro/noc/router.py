@@ -101,6 +101,9 @@ class Router:
         self._dropped_handlers = []
         self.packets_forwarded = 0
         self.packets_sunk = 0
+        #: Sunk packets whose payload arrived corrupted (counted in
+        #: ``packets_sunk`` too — the flits did reach the internal port).
+        self.corrupted_sunk = 0
         self.packets_dropped_here = 0
 
     # -- observer wiring (monitors) ------------------------------------------

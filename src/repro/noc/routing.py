@@ -231,7 +231,12 @@ class RoutingPolicy:
         """Replace the set of failed mesh edges; invalidates cached tables.
 
         Edges are undirected ``(a, b)`` node pairs (normalised to
-        ``(min, max)`` internally).
+        ``(min, max)`` internally).  Only *failed* edges leave the
+        routing graph: degraded edges (``Network.degrade_link``) stay
+        fully routable — their slower timing is a wormhole-occupancy
+        matter that the adaptive port choice feels as congestion, not a
+        topology change — and corrupting edges likewise keep carrying
+        (and damaging) traffic.
         """
         edges = frozenset(
             normalize_edge(a, b) for a, b in failed_edges

@@ -33,12 +33,22 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 
 #: Trace categories recorded by default (cheap, needed by experiments).
+#: The per-packet ``packet_corrupted`` category is included because it
+#: only fires while a corruption fault is active — corruption-free runs
+#: record nothing extra.
 DEFAULT_TRACE_CATEGORIES = (
     "task_switch",
     "node_failed",
     "node_recovered",
     "link_failed",
     "link_recovered",
+    "link_degraded",
+    "link_degrade_recovered",
+    "link_corrupting",
+    "link_corrupt_recovered",
+    "packet_corrupted",
+    "controller_severed",
+    "controller_restored",
 )
 
 
@@ -138,6 +148,7 @@ class CenturionPlatform:
             self.network.directory,
             self.workload,
             window_us=self.config.metrics_window_us,
+            network=self.network,
         ).start()
         self.controller = ExperimentController(self)
         self.faults = FaultInjector(self)

@@ -11,17 +11,36 @@ stream.
 Beyond the paper's single burst, the injector is an *interpreter* for
 declarative :class:`~repro.platform.scenario.FaultScenario` compositions:
 link failures, transient/intermittent outages (fail, then recover, then
-optionally fail again), timed waves and spatial victim patterns
-(row/column/region/neighbourhood).  The legacy :meth:`schedule` surface
-maps onto a one-event uniform burst and draws the exact RNG sequence the
-historic implementation drew, so existing sweeps stay bit-identical.
+optionally fail again), timed waves, spatial victim patterns
+(row/column/region/neighbourhood), degraded links (slower ``flit_time``
+instead of an outage), packet-corrupting links (payload delivered but
+useless), controller attach-point failures (monitors/knobs go dark) and
+hazard-rate storms (occurrence times drawn from a Poisson process on a
+dedicated RNG stream).  The legacy :meth:`schedule` surface maps onto a
+one-event uniform burst and draws the exact RNG sequence the historic
+implementation drew, so existing sweeps stay bit-identical; scenarios
+that avoid the v2 kinds never touch the storm stream, so their draws are
+untouched too.
 """
 
 from repro.noc.topology import normalize_edge
-from repro.platform.scenario import LINK, NODE, UNIFORM, FaultEvent
+from repro.platform.scenario import (
+    CONTROLLER,
+    CORRUPT,
+    LINK,
+    LINK_DEGRADE,
+    NODE,
+    UNIFORM,
+    FaultEvent,
+)
 
 #: RNG stream name shared by every victim draw (legacy-compatible).
 FAULT_STREAM = "fault-injection"
+
+#: RNG stream for hazard-rate storm occurrence times.  Separate from the
+#: victim stream so storms cannot perturb the draws of fixed-schedule
+#: events (and legacy scenarios never create it at all).
+HAZARD_STREAM = "fault-hazard"
 
 
 class FaultInjector:
@@ -43,6 +62,12 @@ class FaultInjector:
         self.victims = []
         #: ``(src, dst)`` link endpoints actually failed, in order.
         self.link_victims = []
+        #: ``(src, dst)`` link endpoints actually degraded, in order.
+        self.degraded_victims = []
+        #: ``(src, dst)`` link endpoints actually set corrupting, in order.
+        self.corrupted_victims = []
+        #: Controller attach-point indices actually severed, in order.
+        self.controller_victims = []
         #: ``(time_us, kind, victim)`` recovery log.
         self.recovered = []
         #: Scenarios applied through :meth:`apply`.
@@ -54,6 +79,14 @@ class FaultInjector:
         #: transients extend each other instead of the earliest recovery
         #: cutting every later outage short.
         self._outage_until = {}
+        #: Active degrade claims per edge: ``[(until, seq, factor), ...]``
+        #: (``until=None`` is permanent).  Unlike the binary kinds a
+        #: degrade claim carries a magnitude, so presence-only
+        #: bookkeeping is not enough — the edge must run at the worst
+        #: *active* factor, and a claim's expiry re-evaluates what
+        #: remains instead of blindly restoring.
+        self._degrade_claims = {}
+        self._degrade_seq = 0
 
     # -- legacy surface ----------------------------------------------------
 
@@ -114,17 +147,35 @@ class FaultInjector:
                             scenario.name, victim, num_nodes
                         )
                     )
+        elif event.kind == CONTROLLER:
+            attaches = len(self.platform.controller.attach_points)
+            for victim in event.victims:
+                if not 0 <= victim < attaches:
+                    raise ValueError(
+                        "scenario {!r}: controller victim {} outside the "
+                        "{} attach points".format(
+                            scenario.name, victim, attaches
+                        )
+                    )
         else:
             for src, dst in event.victims:
                 if (src, dst) not in network.links:
                     raise ValueError(
-                        "scenario {!r}: link victim ({}, {}) is not a "
-                        "mesh edge".format(scenario.name, src, dst)
+                        "scenario {!r}: {} victim ({}, {}) is not a "
+                        "mesh edge".format(scenario.name, event.kind,
+                                           src, dst)
                     )
 
     def _schedule_event(self, event):
         sim = self.platform.sim
-        for at in event.occurrence_times():
+        if event.is_storm():
+            # Storm occurrence times are drawn up front, at apply time,
+            # from the dedicated hazard stream: per-seed deterministic,
+            # and invisible to the victim draws of other events.
+            times = event.occurrence_times(sim.rng.stream(HAZARD_STREAM))
+        else:
+            times = event.occurrence_times()
+        for at in times:
             sim.schedule_at(
                 at,
                 lambda e=event: self._execute(e),
@@ -135,15 +186,28 @@ class FaultInjector:
 
     def _execute(self, event):
         """Inject one occurrence of ``event`` at the current time."""
-        if event.kind == NODE:
+        kind = event.kind
+        if kind == NODE:
             victims = self._node_victims(event)
             self._inject_nodes(victims)
+        elif kind == CONTROLLER:
+            victims = list(self._controller_victims_for(event))
+            self._sever_attaches(victims)
         else:
             victims = [
                 normalize_edge(*edge)
-                for edge in self._link_victims_for(event)
+                for edge in self._edge_victims_for(event)
             ]
-            self._inject_links(victims)
+            if kind == LINK:
+                self._inject_links(victims)
+            elif kind == LINK_DEGRADE:
+                # Degrade claims carry a magnitude, so they bypass the
+                # presence-only permanent/outage bookkeeping below in
+                # favour of per-edge claim arbitration.
+                self._apply_degrade(event, victims)
+                return
+            else:
+                self._corrupt_links(victims)
         if event.duration_us is None:
             # A permanent claim sticks to every declared victim — even
             # one currently down from a transient outage, whose pending
@@ -191,6 +255,103 @@ class FaultInjector:
             failed.append((src, dst))
         return failed
 
+    def _apply_degrade(self, event, edges):
+        """Register one occurrence's degrade claims and apply them.
+
+        Overlapping degradations do not stack multiplicatively: the
+        edge runs at the *worst* (largest-factor) currently-active
+        claim.  Each claim is kept with its expiry; when a transient
+        claim lapses the survivors are re-evaluated — the edge drops to
+        the next-worst active factor, or back to nominal timing once no
+        claim remains.
+        """
+        sim = self.platform.sim
+        network = self.platform.network
+        until = (
+            None if event.duration_us is None
+            else sim.now + event.duration_us
+        )
+        claimed = []
+        for edge in edges:
+            if network.link_failed(*edge):
+                continue  # a dead edge has no timing left to degrade
+            self._degrade_claims.setdefault(edge, []).append(
+                (until, self._degrade_seq, event.factor)
+            )
+            self._degrade_seq += 1
+            self.degraded_victims.append(edge)
+            self._apply_governing_degrade(edge)
+            claimed.append(edge)
+        if until is not None and claimed:
+            sim.schedule_at(
+                until,
+                lambda es=claimed: self._expire_degrades(es),
+                priority=sim.PRIORITY_CONTROL,
+            )
+        return claimed
+
+    def _apply_governing_degrade(self, edge):
+        """Make the edge run at its worst active claim's factor."""
+        network = self.platform.network
+        claims = self._degrade_claims.get(edge)
+        if not claims:
+            if network.link_degraded(*edge):
+                network.restore_link(*edge)
+            return
+        # Worst factor governs; newest declaration breaks exact ties.
+        _until, _seq, factor = max(
+            claims, key=lambda claim: (claim[2], claim[1])
+        )
+        if network.degraded_links.get(edge) != factor:
+            network.degrade_link(edge[0], edge[1], factor)
+
+    def _expire_degrades(self, edges):
+        """Drop lapsed degrade claims and re-arbitrate each edge."""
+        now = self.platform.sim.now
+        network = self.platform.network
+        for edge in edges:
+            claims = self._degrade_claims.get(edge)
+            if not claims:
+                continue
+            live = [
+                claim for claim in claims
+                if claim[0] is None or claim[0] > now
+            ]
+            if len(live) == len(claims):
+                continue  # nothing lapsed yet (e.g. re-claimed later)
+            if live:
+                self._degrade_claims[edge] = live
+                self._apply_governing_degrade(edge)
+            else:
+                del self._degrade_claims[edge]
+                if network.link_degraded(*edge):
+                    network.restore_link(*edge)
+                    self.recovered.append((now, LINK_DEGRADE, edge))
+
+    def _corrupt_links(self, edges):
+        network = self.platform.network
+        corrupted = []
+        for src, dst in edges:
+            if network.link_failed(src, dst) or network.link_corrupting(
+                src, dst
+            ):
+                continue
+            network.corrupt_link(src, dst)
+            self.corrupted_victims.append((src, dst))
+            corrupted.append((src, dst))
+        return corrupted
+
+    def _sever_attaches(self, indices):
+        controller = self.platform.controller
+        severed = []
+        for index in indices:
+            if index in controller.severed:
+                continue  # double injection of an already-severed attach
+            controller.sever_attach(index)
+            self.controller_victims.append(index)
+            severed.append(index)
+        return severed
+
     def _recover(self, kind, victims):
         """Undo one occurrence's outage (the transient-fault back edge).
 
@@ -212,9 +373,18 @@ class FaultInjector:
                 if pes[victim].halted:
                     controller.recover_node(victim)
                     self.recovered.append((now, NODE, victim))
-            elif network.link_failed(*victim):
-                network.recover_link(*victim)
-                self.recovered.append((now, LINK, victim))
+            elif kind == LINK:
+                if network.link_failed(*victim):
+                    network.recover_link(*victim)
+                    self.recovered.append((now, LINK, victim))
+            elif kind == CORRUPT:
+                if network.link_corrupting(*victim):
+                    network.clean_link(*victim)
+                    self.recovered.append((now, CORRUPT, victim))
+            elif kind == CONTROLLER:
+                if victim in controller.severed:
+                    controller.restore_attach(victim)
+                    self.recovered.append((now, CONTROLLER, victim))
 
     # -- victim selection --------------------------------------------------
 
@@ -260,30 +430,61 @@ class FaultInjector:
             n for n in alive if topology.manhattan(n, center) <= radius
         ]
 
-    def _link_victims_for(self, event):
-        """Link victims for one occurrence (pinned pairs or a draw)."""
+    def _edge_victims_for(self, event):
+        """Edge victims for one occurrence (pinned pairs or a draw).
+
+        The draw excludes edges already claimed by the event's own kind
+        (failed edges for ``link``, degraded for ``link_degrade``,
+        corrupting for ``corrupt``) plus — for the partial kinds — the
+        outright-failed edges, which have no traffic left to damage.
+        For ``link`` events the candidate set and draw are unchanged
+        from the v1 engine, preserving its RNG sequence exactly.
+        """
         if event.victims is not None:
             return [tuple(v) for v in event.victims]
         network = self.platform.network
         rng = self.platform.sim.rng.stream(FAULT_STREAM)
+        taken = network.failed_links
+        if event.kind == LINK_DEGRADE:
+            taken = taken | set(network.degraded_links)
+        elif event.kind == CORRUPT:
+            taken = taken | network.corrupting_links
         healthy = sorted(
             edge
             for edge in {
                 normalize_edge(a, b) for a, b in network.links
             }
-            if not network.link_failed(*edge)
+            if edge not in taken
         )
+        count = min(event.count, len(healthy))
+        return rng.sample(healthy, count)
+
+    def _controller_victims_for(self, event):
+        """Attach-point victims for one occurrence (pinned or drawn).
+
+        Uniform draws come from the currently-healthy attach points,
+        through the same victim stream as every other draw.
+        """
+        if event.victims is not None:
+            return event.victims
+        controller = self.platform.controller
+        rng = self.platform.sim.rng.stream(FAULT_STREAM)
+        healthy = controller.healthy_attach_indices()
         count = min(event.count, len(healthy))
         return rng.sample(healthy, count)
 
     def __repr__(self):
         return (
             "FaultInjector(scheduled={}, scenarios={}, injected={}, "
-            "links={}, recovered={})".format(
+            "links={}, degraded={}, corrupted={}, severed={}, "
+            "recovered={})".format(
                 self.scheduled,
                 len(self.scenarios),
                 len(self.victims),
                 len(self.link_victims),
+                len(self.degraded_victims),
+                len(self.corrupted_victims),
+                len(self.controller_victims),
                 len(self.recovered),
             )
         )

@@ -13,7 +13,20 @@ a JSON-loadable composition of :class:`FaultEvent` injections:
 * **timed waves** — ``repeats`` occurrences spaced ``period_us`` apart
   with no ``duration_us``: k fresh victims per wave instead of one burst;
 * **spatial patterns** — victims drawn from a row, column, rectangular
-  region or Manhattan neighbourhood instead of uniformly from the mesh.
+  region or Manhattan neighbourhood instead of uniformly from the mesh;
+* **degraded links** — ``kind="link_degrade"``: the edge survives but its
+  ``flit_time`` stretches by ``factor`` (partial failure instead of an
+  outage); recovery restores the original timing;
+* **packet corruption** — ``kind="corrupt"``: packets crossing the edge
+  are delivered but flagged corrupted, so the application discards them
+  and deadline/QoS metrics count them as misses;
+* **controller attach-point failures** — ``kind="controller"``: one of
+  the Experiment Controller's attach points is severed, so its monitors
+  and knobs for the nodes on the far side go dark until recovery;
+* **hazard-rate storms** — ``hazard_per_us`` + ``horizon_us`` draw the
+  occurrence times from the scenario RNG stream (a Poisson process over
+  the storm window) instead of a fixed schedule, composable with every
+  kind, pattern and ``duration_us``.
 
 The :class:`~repro.platform.faults.FaultInjector` interprets scenarios at
 runtime; campaigns carry them as a first-class axis whose content hash
@@ -25,16 +38,27 @@ Event schema (JSON)
 Every event is a dict; unknown keys are rejected.  Fields:
 
 ``kind``
-    ``"node"`` (default) or ``"link"``.
+    ``"node"`` (default), ``"link"``, ``"link_degrade"``, ``"corrupt"``
+    or ``"controller"``.
 ``at_us``
-    Injection time of the first occurrence (µs, required).
+    Injection time of the first occurrence (µs, required).  For a
+    hazard-rate storm it is the start of the storm window instead.
 ``count``
     Victims per occurrence.  Drawn from the pattern's candidate set at
     injection time (faults hit the *running* system).  ``None`` with a
     spatial pattern means "the whole set".
 ``victims``
-    Pinned victim list instead of a draw: node ids, or ``[src, dst]``
-    pairs for links.  When ``count`` is also given the two must agree.
+    Pinned victim list instead of a draw: node ids, ``[src, dst]``
+    pairs for the link kinds, or attach-point indices for
+    ``"controller"``.  When ``count`` is also given the two must agree.
+``factor``
+    ``"link_degrade"`` only: multiplier (> 1) applied to the victim
+    edge's ``flit_time`` while the degradation holds.
+``hazard_per_us`` / ``horizon_us``
+    Storm mode: occurrence times are drawn from a Poisson process with
+    this hazard rate over ``[at_us, horizon_us]`` (from the dedicated
+    scenario RNG stream) instead of the fixed ``at_us``/``repeats``
+    schedule.  Incompatible with ``repeats``/``period_us``.
 ``pattern`` / ``row`` / ``column`` / ``region`` / ``center`` / ``radius``
     Victim-selection shape for node events: ``"uniform"`` (default),
     ``"row"`` (needs ``row``), ``"column"`` (needs ``column``),
@@ -53,7 +77,13 @@ import json
 
 NODE = "node"
 LINK = "link"
-KINDS = (NODE, LINK)
+LINK_DEGRADE = "link_degrade"
+CORRUPT = "corrupt"
+CONTROLLER = "controller"
+KINDS = (NODE, LINK, LINK_DEGRADE, CORRUPT, CONTROLLER)
+
+#: Kinds whose victims are mesh edges (``[src, dst]`` endpoint pairs).
+EDGE_KINDS = (LINK, LINK_DEGRADE, CORRUPT)
 
 UNIFORM = "uniform"
 PATTERNS = (UNIFORM, "row", "column", "region", "neighborhood")
@@ -76,6 +106,9 @@ class FaultEvent:
     duration_us: int = None
     repeats: int = 1
     period_us: int = None
+    factor: float = None
+    hazard_per_us: float = None
+    horizon_us: int = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -88,9 +121,21 @@ class FaultEvent:
                     self.pattern, PATTERNS
                 )
             )
-        if self.kind == LINK and self.pattern != UNIFORM:
+        if self.kind != NODE and self.pattern != UNIFORM:
             raise ValueError(
-                "link events support only uniform draws or pinned victims"
+                "{} events support only uniform draws or pinned "
+                "victims".format(self.kind)
+            )
+        if self.kind == LINK_DEGRADE:
+            if self.factor is None:
+                raise ValueError("link_degrade events need a 'factor'")
+            if not self.factor > 1:
+                raise ValueError(
+                    "degrade factor must be > 1 (a flit-time multiplier)"
+                )
+        elif self.factor is not None:
+            raise ValueError(
+                "'factor' only applies to link_degrade events"
             )
         if self.victims is not None:
             if self.pattern != UNIFORM:
@@ -109,11 +154,19 @@ class FaultEvent:
                         self.count, len(victims)
                     )
                 )
-            if self.kind == LINK and any(
+            if self.kind in EDGE_KINDS and any(
                 not (isinstance(v, tuple) and len(v) == 2) for v in victims
             ):
                 raise ValueError(
-                    "link victims must be [src, dst] endpoint pairs"
+                    "{} victims must be [src, dst] endpoint pairs".format(
+                        self.kind
+                    )
+                )
+            if self.kind == CONTROLLER and any(
+                not isinstance(v, int) or v < 0 for v in victims
+            ):
+                raise ValueError(
+                    "controller victims must be attach-point indices"
                 )
         else:
             if self.count is None and self.pattern == UNIFORM:
@@ -156,11 +209,56 @@ class FaultEvent:
             self.period_us is None or self.period_us <= 0
         ):
             raise ValueError("repeating events need a positive period_us")
+        if self.hazard_per_us is not None:
+            if not self.hazard_per_us > 0:
+                raise ValueError("hazard_per_us must be positive")
+            if self.horizon_us is None:
+                raise ValueError(
+                    "hazard-rate storms need a 'horizon_us' window end"
+                )
+            if self.horizon_us <= self.at_us:
+                raise ValueError(
+                    "storm horizon_us must lie beyond at_us (the window "
+                    "start)"
+                )
+            if self.repeats != 1 or self.period_us is not None:
+                raise ValueError(
+                    "hazard-rate storms draw their own occurrence times; "
+                    "repeats/period_us do not apply"
+                )
+        elif self.horizon_us is not None:
+            raise ValueError("'horizon_us' only applies with hazard_per_us")
 
     # -- timing ------------------------------------------------------------
 
-    def occurrence_times(self):
-        """Injection timestamps of every occurrence, in order."""
+    def is_storm(self):
+        """True when occurrence times come from a hazard-rate draw."""
+        return self.hazard_per_us is not None
+
+    def occurrence_times(self, rng=None):
+        """Injection timestamps of every occurrence, in order.
+
+        Fixed-schedule events ignore ``rng``.  Hazard-rate storms *draw*
+        their times — exponential inter-arrival gaps (mean
+        ``1 / hazard_per_us`` µs, floored at 1 µs and rounded to the
+        integer clock) walked from ``at_us`` until ``horizon_us`` — and
+        therefore require the scenario RNG stream; the draw consumes one
+        variate per occurrence plus the final out-of-window one, so a
+        fixed seed yields a fixed storm.
+        """
+        if self.hazard_per_us is not None:
+            if rng is None:
+                raise ValueError(
+                    "hazard-rate storms need the scenario RNG stream to "
+                    "draw occurrence times"
+                )
+            times = []
+            t = self.at_us
+            while True:
+                t += max(1, int(round(rng.expovariate(self.hazard_per_us))))
+                if t > self.horizon_us:
+                    return times
+                times.append(t)
         if self.repeats == 1:
             return [self.at_us]
         return [
@@ -194,11 +292,26 @@ class FaultEvent:
                 data[field] = value
         return data
 
+    #: Fields added after the v1 schema.  ``canonical`` emits them only
+    #: when set: a v1 scenario's canonical dict (and therefore its
+    #: content hash and every store key derived from it) is byte-for-byte
+    #: what it was before these fields existed.
+    _CANONICAL_OPTIONAL = frozenset(
+        ("factor", "hazard_per_us", "horizon_us")
+    )
+
     def canonical(self):
-        """Fully explicit dict (every field) for content hashing."""
+        """Fully explicit dict for content hashing.
+
+        Every v1 field appears whether defaulted or not; post-v1 fields
+        (see :attr:`_CANONICAL_OPTIONAL`) join only when they deviate
+        from their default, keeping pre-existing scenario hashes stable.
+        """
         data = {"at_us": self.at_us}
-        for field in self._DEFAULTS:
+        for field, default in self._DEFAULTS.items():
             value = getattr(self, field)
+            if field in self._CANONICAL_OPTIONAL and value == default:
+                continue
             if field in ("victims", "region") and value is not None:
                 value = [
                     list(v) if isinstance(v, tuple) else v for v in value
@@ -250,13 +363,21 @@ class FaultScenario:
     # -- queries -----------------------------------------------------------
 
     def first_fault_us(self):
-        """Time of the earliest injection, or ``None`` with no events."""
+        """Time of the earliest injection, or ``None`` with no events.
+
+        For a hazard-rate storm this is the start of the storm *window*
+        (``at_us``): the first drawn occurrence lands at or after it.
+        """
         if not self.events:
             return None
         return min(event.at_us for event in self.events)
 
     def occurrence_count(self):
-        """Total scheduled occurrences across all events."""
+        """Total *declared* occurrences across all events.
+
+        Hazard-rate storms count as one declaration — their actual
+        occurrence count is a per-seed draw made at apply time.
+        """
         return sum(event.repeats for event in self.events)
 
     # -- serialisation -----------------------------------------------------

@@ -43,6 +43,15 @@ class TraceRecorder:
         """All records of one category, in time order."""
         return [r for r in self.records if r.category == category]
 
+    def categories(self):
+        """Distinct categories with at least one stored record.
+
+        Scenario tests use this to assert which fault/recovery back
+        edges (``link_degraded``, ``packet_corrupted``,
+        ``controller_severed``, ...) a run actually exercised.
+        """
+        return {r.category for r in self.records}
+
     def count(self, category):
         """Number of records of one category."""
         return sum(1 for r in self.records if r.category == category)

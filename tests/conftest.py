@@ -5,6 +5,22 @@ import pytest
 from repro.sim.engine import Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/experiments/golden/ "
+             "with freshly computed values instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should refresh golden files, not check them."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def sim():
     """A fresh simulator with a fixed seed."""

@@ -1,0 +1,195 @@
+"""Property tests (hypothesis) for the declarative fault-scenario schema.
+
+Three guarantees a scenario author relies on without reading the
+implementation:
+
+* serialisation is lossless — ``to_dict`` → JSON → ``from_dict`` is the
+  identity, and canonical form / content key survive the round trip;
+* the content key hashes *content*, not representation — reordering the
+  keys of the JSON dicts (or re-encoding victims as tuples vs lists)
+  cannot change it;
+* malformed events are rejected at construction, not at injection time.
+"""
+
+import json
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.platform.scenario import KINDS, FaultEvent, FaultScenario
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+times = st.integers(min_value=0, max_value=10**6)
+counts = st.integers(min_value=1, max_value=8)
+durations = st.none() | st.integers(min_value=1, max_value=10**5)
+
+
+@st.composite
+def repeat_fields(draw):
+    """Either a fixed repeat schedule or a hazard-rate storm window."""
+    if draw(st.booleans()):
+        repeats = draw(st.integers(min_value=1, max_value=4))
+        period = (
+            draw(st.integers(min_value=1, max_value=10**5))
+            if repeats > 1 else None
+        )
+        return {"repeats": repeats, "period_us": period}
+    return {
+        "hazard_per_us": draw(
+            st.floats(
+                min_value=1e-6, max_value=1e-2,
+                allow_nan=False, allow_infinity=False,
+            )
+        ),
+        "horizon_us": draw(st.integers(min_value=1, max_value=10**6)),
+    }
+
+
+@st.composite
+def events(draw):
+    at_us = draw(times)
+    kind = draw(st.sampled_from(KINDS))
+    fields = {"at_us": at_us, "kind": kind}
+    if kind == "node" and draw(st.booleans()):
+        pattern = draw(st.sampled_from(("row", "column", "neighborhood")))
+        fields["pattern"] = pattern
+        if pattern == "row":
+            fields["row"] = draw(st.integers(min_value=0, max_value=7))
+        elif pattern == "column":
+            fields["column"] = draw(st.integers(min_value=0, max_value=15))
+        else:
+            fields["center"] = draw(st.integers(min_value=0, max_value=127))
+            fields["radius"] = draw(st.integers(min_value=0, max_value=4))
+        fields["count"] = draw(st.none() | counts)
+    elif draw(st.booleans()) or kind == "controller":
+        fields["count"] = draw(counts)
+    else:
+        # Pinned victims: node ids, edge pairs or attach indices.
+        if kind == "node":
+            pins = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=127),
+                    min_size=1, max_size=4, unique=True,
+                )
+            )
+        else:
+            pins = draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=126),
+                        st.integers(min_value=1, max_value=127),
+                    ).map(lambda p: [p[0], p[1]]),
+                    min_size=1, max_size=4, unique_by=tuple,
+                )
+            )
+        fields["victims"] = pins
+        if draw(st.booleans()):
+            fields["count"] = len(pins)
+    if kind == "link_degrade":
+        fields["factor"] = draw(
+            st.floats(
+                min_value=1.5, max_value=64.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+    fields["duration_us"] = draw(durations)
+    extra = draw(repeat_fields())
+    if "horizon_us" in extra:
+        extra["horizon_us"] += at_us + 1
+    fields.update(
+        (key, value) for key, value in extra.items() if value is not None
+    )
+    if fields.get("repeats") == 1:
+        del fields["repeats"]
+    return FaultEvent.from_dict(
+        {k: v for k, v in fields.items() if v is not None or k == "count"}
+    )
+
+
+scenarios = st.builds(
+    FaultScenario,
+    name=st.text(min_size=1, max_size=24),
+    events=st.lists(events(), min_size=0, max_size=5).map(tuple),
+)
+
+
+def _reorder(value):
+    """Recursively rebuild dicts with reversed key-insertion order."""
+    if isinstance(value, dict):
+        return {
+            key: _reorder(value[key]) for key in reversed(list(value))
+        }
+    if isinstance(value, list):
+        return [_reorder(item) for item in value]
+    return value
+
+
+@SETTINGS
+@given(scenario=scenarios)
+def test_json_round_trip_is_identity(scenario):
+    dumped = json.loads(json.dumps(scenario.to_dict()))
+    rebuilt = FaultScenario.from_dict(dumped)
+    assert rebuilt == scenario
+    assert rebuilt.canonical() == scenario.canonical()
+    assert rebuilt.key() == scenario.key()
+
+
+@SETTINGS
+@given(scenario=scenarios)
+def test_key_is_stable_under_dict_key_reordering(scenario):
+    shuffled = _reorder(scenario.to_dict())
+    assert list(shuffled) != list(scenario.to_dict()) or len(shuffled) == 1
+    assert FaultScenario.from_dict(shuffled).key() == scenario.key()
+
+
+@SETTINGS
+@given(scenario=scenarios)
+def test_to_dict_omits_defaults(scenario):
+    for event, dumped in zip(scenario.events, scenario.to_dict()["events"]):
+        for field, default in FaultEvent._DEFAULTS.items():
+            if getattr(event, field) == default:
+                assert field not in dumped
+
+
+@SETTINGS
+@given(at_us=st.integers(max_value=-1))
+def test_negative_times_rejected(at_us):
+    with pytest.raises(ValueError):
+        FaultEvent(at_us=at_us, count=1)
+
+
+@SETTINGS
+@given(
+    pins=st.lists(
+        st.integers(min_value=0, max_value=127),
+        min_size=1, max_size=6, unique=True,
+    ),
+    count=st.integers(min_value=1, max_value=12),
+)
+def test_count_conflicting_with_pinned_victims_rejected(pins, count):
+    assume(count != len(pins))
+    with pytest.raises(ValueError):
+        FaultEvent(at_us=0, count=count, victims=tuple(pins))
+
+
+@SETTINGS
+@given(kind=st.text(min_size=1, max_size=12))
+def test_unknown_kinds_rejected(kind):
+    assume(kind not in KINDS)
+    with pytest.raises(ValueError):
+        FaultEvent(at_us=0, kind=kind, count=1)
+
+
+@SETTINGS
+@given(key=st.text(min_size=1, max_size=12))
+def test_unknown_event_keys_rejected(key):
+    assume(key != "at_us" and key not in FaultEvent._DEFAULTS)
+    with pytest.raises(ValueError):
+        FaultEvent.from_dict({"at_us": 0, "count": 1, key: 1})
