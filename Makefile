@@ -33,9 +33,11 @@ bench:
 bench-baseline:
 	$(PYTHON) -m benchmarks.harness --micro --update-baseline
 
-# Campaign store gate: run a 2-model x 2-seed campaign cold then resumed;
-# fails unless the resumed pass executes zero simulations and reproduces
-# the cold rows bit-identically.
+# Campaign store gates: (1) resume — a 2-model x 2-seed campaign cold
+# then resumed must re-execute zero simulations bit-identically; (2)
+# cross-campaign dedup (store v2) — a table2-subset sharing a store root
+# with a prior table1-subset must reuse every shared zero-fault cell
+# through the dedup index (0 executed shared cells, byte-identical rows).
 campaign-smoke:
 	$(PYTHON) -m benchmarks.harness --campaign-smoke
 

@@ -21,11 +21,20 @@ numbers after an intentional change; ``make bench`` is the shorthand.
 Campaign smoke gate
 -------------------
 ``python -m benchmarks.harness --campaign-smoke`` (``make
-campaign-smoke``) runs a 2-model × 2-seed campaign twice into a
-temporary store — cold, then resumed — and exits non-zero unless the
-resumed pass executes **zero** simulations and reproduces the cold rows
-bit-identically.  Combined with ``--micro``, its numbers join the
-printed report and the baseline record.
+campaign-smoke``) runs two store gates and exits non-zero unless both
+hold:
+
+* *resume leg* — a 2-model × 2-seed campaign runs twice into one
+  temporary store, cold then resumed; the resumed pass must execute
+  **zero** simulations and reproduce the cold rows bit-identically;
+* *dedup leg* (store v2) — a table1-subset campaign runs cold, then a
+  table2-subset sharing the same store root; every shared zero-fault
+  cell must resolve through the cross-campaign dedup index (**zero**
+  executed shared cells) with rows bit-identical to the first
+  campaign's.
+
+Combined with ``--micro``, the numbers join the printed report and the
+baseline record.
 """
 
 import argparse
@@ -135,6 +144,84 @@ def check_campaign_smoke(smoke):
         )
     if not smoke["identical"]:
         return "campaign-smoke: resumed rows differ from the cold pass"
+    return None
+
+
+def run_dedup_smoke(models=("none", "foraging_for_work"), seeds=2,
+                    processes=0):
+    """Cross-campaign dedup gate evidence (store v2).
+
+    A table1-subset campaign (zero faults) runs cold, then a
+    table2-subset (fault counts 0 and 2) against a *different* campaign
+    directory under the same store root.  The second campaign must
+    resolve every shared zero-fault cell through the root's dedup index
+    — zero simulations for shared cells — and execute only its faulted
+    cells, with the reused rows bit-identical to the first campaign's.
+    """
+    import shutil
+
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec
+    from repro.platform.config import PlatformConfig
+
+    config = PlatformConfig.small()
+    seed_list = tuple(default_seeds(seeds, base=seed_base()))
+    first_spec = CampaignSpec(
+        name="table1-subset", models=tuple(models), seeds=seed_list,
+        fault_counts=(0,), config=config,
+    )
+    second_spec = CampaignSpec(
+        name="table2-subset", models=tuple(models), seeds=seed_list,
+        fault_counts=(0, 2), config=config,
+    )
+    root = tempfile.mkdtemp(prefix="campaign-dedup-")
+    try:
+        first = run_campaign(
+            first_spec, store=os.path.join(root, first_spec.name),
+            processes=processes, dedup_root=root,
+        )
+        second = run_campaign(
+            second_spec, store=os.path.join(root, second_spec.name),
+            processes=processes, dedup_root=root,
+        )
+        shared = {
+            (d.model, d.seed): r.as_row() for d, r in first.pairs()
+        }
+        reused = {
+            (d.model, d.seed): r.as_row()
+            for d, r in second.pairs() if d.faults == 0
+        }
+        identical = shared == reused
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "shared_cells": len(shared),
+        "faulted_cells": len(models) * len(seed_list),
+        "first_executed": first.executed,
+        "deduped": second.deduped,
+        "executed": second.executed,
+        "identical": identical,
+    }
+
+
+def check_dedup_smoke(smoke):
+    """Failure message for a dedup report, or ``None`` when it passed."""
+    if smoke["deduped"] != smoke["shared_cells"]:
+        return (
+            "dedup-smoke: second campaign deduped {} of {} shared cells "
+            "(expected all)".format(smoke["deduped"], smoke["shared_cells"])
+        )
+    if smoke["executed"] != smoke["faulted_cells"]:
+        return (
+            "dedup-smoke: second campaign executed {} cells (expected "
+            "only its {} faulted cells)".format(
+                smoke["executed"], smoke["faulted_cells"])
+        )
+    if not smoke["identical"]:
+        return (
+            "dedup-smoke: reused zero-fault rows differ from the first "
+            "campaign's rows"
+        )
     return None
 
 
@@ -256,6 +343,7 @@ def main(argv=None):
         parser.error("nothing to do (pass --micro and/or --campaign-smoke)")
 
     smoke = None
+    dedup = None
     if args.campaign_smoke:
         smoke = run_campaign_smoke()
         print("campaign smoke ({} cells, small platform):".format(
@@ -270,6 +358,16 @@ def main(argv=None):
             print("\nCAMPAIGN SMOKE FAILED: {}".format(failure))
             return 2
         print("  resumed pass hit the store for every cell — ok")
+        dedup = run_dedup_smoke()
+        print("dedup smoke ({} shared + {} faulted cells):".format(
+            dedup["shared_cells"], dedup["faulted_cells"]))
+        print("  {:<36} {} deduped, {} executed".format(
+            "second campaign", dedup["deduped"], dedup["executed"]))
+        failure = check_dedup_smoke(dedup)
+        if failure is not None:
+            print("\nCAMPAIGN SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  shared cells reused bit-identically, 0 executed — ok")
         if not args.micro:
             return 0
 
@@ -292,6 +390,8 @@ def main(argv=None):
     }
     if smoke is not None:
         result["campaign_smoke"] = smoke
+    if dedup is not None:
+        result["dedup_smoke"] = dedup
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

@@ -14,6 +14,10 @@ remaining cells out across worker processes:
 * :mod:`repro.campaign.executor` — :func:`run_campaign` shards pending
   cells across a multiprocessing pool (chunked ``imap``, ordered
   collection, per-cell error context, progress reporting);
+* :mod:`repro.campaign.index` — :class:`StoreIndex`, the per-root
+  cross-campaign dedup index (store v2);
+* :mod:`repro.campaign.gc` — store management: ``campaign ls`` surveys,
+  ``campaign gc`` compaction, merged CSV/JSONL export;
 * :mod:`repro.campaign.paper` — the three canonical paper campaigns and
   the grouping that turns a finished campaign back into table rows or
   Figure 4 panels.
@@ -29,6 +33,39 @@ A campaign directory holds two files:
   the application/NoC statistics and (when requested) the full metrics
   series.  On load, the last record per key wins, so a crashed append
   at worst loses its own line.
+
+Store v2
+--------
+Sibling campaign directories share a *store root* (their common parent,
+e.g. ``campaigns/``), and three v2 layers operate across it — all
+derivable from the v1 files above, never required by them:
+
+* **Dedup index** — a root-level ``index.jsonl`` maps every cell key to
+  ``(campaign, byte offset)`` of the record holding it, built and
+  refreshed incrementally (per-campaign ``scanned`` watermarks; a file
+  that shrank is rescanned).  :func:`run_campaign` resolves pending
+  cells against it before executing anything, so e.g. table2 reuses
+  table1's zero-fault cells with **zero** simulations; the reused record
+  is copied into the requesting campaign's own stream byte-identically
+  (every writer serialises via ``store.encode_line``).  Lookups seek and
+  *verify* — a diverged entry is a miss, never wrong data.  Dedup scope:
+  keys hash the full simulation payload, so dedup never crosses
+  differing spec payloads.
+* **Worker shards** — ``run_campaign(workers=N, worker_id=K)`` keeps
+  only the pending cells whose key hashes to shard ``K``
+  (:func:`~repro.campaign.executor.shard_of`, a pure function of the
+  key) and appends to a private ``results.worker-K.jsonl``, so
+  independent processes or machines sharing the directory drain one
+  campaign with no write contention and no file locks.  Readers merge
+  main + worker streams; :meth:`ResultStore.reconcile` (or ``gc``)
+  folds the worker streams back into ``results.jsonl`` verbatim.
+* **Management** (:mod:`repro.campaign.gc`) — ``campaign ls`` surveys
+  directories (grid completion, orphaned/stale keys, superseded and
+  torn lines, unreconciled shards), ``campaign gc`` compacts them
+  (dry-run by default; ``--apply`` rewrites atomically, folds shards,
+  drops orphans/duplicates/torn lines and rebuilds the root index —
+  which is also how any index/row divergence is repaired), and
+  ``campaign export`` emits merged CSV/JSONL across campaigns.
 
 Hash-key stability contract
 ---------------------------
@@ -64,7 +101,8 @@ hashes — to the byte-identical payload it always had, while any event
 that does use a v2 field mints a distinct key.
 """
 
-from repro.campaign.executor import CampaignReport, run_campaign
+from repro.campaign.executor import CampaignReport, run_campaign, shard_of
+from repro.campaign.index import StoreIndex
 from repro.campaign.spec import CampaignSpec, RunDescriptor
 from repro.campaign.store import ResultStore
 
@@ -73,5 +111,7 @@ __all__ = [
     "CampaignSpec",
     "ResultStore",
     "RunDescriptor",
+    "StoreIndex",
     "run_campaign",
+    "shard_of",
 ]

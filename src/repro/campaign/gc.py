@@ -1,0 +1,321 @@
+"""Campaign store management: ``ls`` surveys, ``gc`` compaction, export.
+
+Everything here operates on plain campaign directories — v1 stores (a
+bare ``results.jsonl`` + ``spec.json``) work unchanged; the root index
+and worker shard streams are handled when present, never required.
+
+gc semantics
+------------
+``gc`` is a *plan* by default (dry run): it reports, per campaign, how
+many lines a compaction would drop — superseded duplicates (an earlier
+record for a key that was written again), torn/garbage/blank lines, and
+orphaned rows (keys the directory's ``spec.json`` no longer expands to;
+directories without a readable spec get no orphan detection) — plus the
+worker streams a reconcile would fold in.  ``apply`` rewrites
+``results.jsonl`` atomically (temp file + ``os.replace``) with exactly
+one canonical line per surviving key in first-seen order, removes the
+worker streams, and rebuilds the root ``index.jsonl`` (compaction moves
+byte offsets).  A campaign with nothing to drop is left byte-untouched.
+"""
+
+import csv
+import dataclasses
+import os
+
+from repro.campaign.index import (
+    INDEX_FILE,
+    StoreIndex,
+    campaign_dirs,
+    iter_jsonl,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    RESULTS_FILE,
+    SPEC_FILE,
+    encode_line,
+    worker_files,
+)
+
+#: Scalar row columns in export order (extras appended alphabetically).
+ROW_COLUMNS = (
+    "model",
+    "seed",
+    "faults",
+    "scenario",
+    "settling_time_ms",
+    "settled_performance",
+    "recovery_time_ms",
+    "recovered_performance",
+    "total_switches",
+)
+
+
+@dataclasses.dataclass
+class CampaignSummary:
+    """One campaign directory's survey (what ``campaign ls`` prints)."""
+
+    name: str
+    directory: str
+    kind: str = "?"
+    #: Grid size of the directory's spec.json (None: no readable spec).
+    spec_cells: int = None
+    #: Unique keys on disk (main + worker streams, last-write-wins).
+    stored: int = 0
+    #: Stored keys the spec still expands to.
+    current: int = 0
+    #: Stored keys the spec no longer expands to (stale keys).
+    orphaned: int = 0
+    #: Earlier records superseded by a later write of the same key.
+    superseded: int = 0
+    #: Torn tails, garbage and blank lines.
+    torn: int = 0
+    #: Unreconciled worker shard streams.
+    worker_files: int = 0
+
+    def completion(self):
+        """Percent of the spec grid present, or None without a spec."""
+        if not self.spec_cells:
+            return None
+        return 100.0 * self.current / self.spec_cells
+
+    def droppable(self):
+        """Lines a ``gc --apply`` would remove."""
+        return self.orphaned + self.superseded + self.torn
+
+    def as_dict(self):
+        """JSON-friendly dump (the ``campaign ls --json`` payload)."""
+        data = dataclasses.asdict(self)
+        data["completion"] = self.completion()
+        return data
+
+
+def load_records(directory):
+    """Merged ``key -> record`` map of a campaign directory.
+
+    Reads the main stream then every worker stream (sorted), exactly
+    like :class:`~repro.campaign.store.ResultStore`: last write wins per
+    key, first-seen order is preserved (the order gc compaction keeps).
+    Returns ``(records, stats)`` where stats counts ``valid`` record
+    lines, ``torn`` droppable lines and ``worker_files``.
+    """
+    records = {}
+    offsets = {}
+    valid = torn = 0
+    main = os.path.join(directory, RESULTS_FILE)
+    paths = [main] if os.path.exists(main) else []
+    shard_paths = worker_files(directory)
+    paths.extend(shard_paths)
+    for path in paths:
+        watermark = 0
+        for begin, end, record in iter_jsonl(path):
+            watermark = end
+            if record is None or not record.get("key"):
+                torn += 1
+                continue
+            valid += 1
+            records[record["key"]] = record
+            if path == main:
+                # Byte offset → key of the main stream (what index
+                # entries point at); lets gc verify the whole index in
+                # one sequential pass instead of per-key seeks.
+                offsets[begin] = record["key"]
+        if watermark < os.path.getsize(path):
+            torn += 1  # torn tail (interrupted append)
+    stats = {
+        "valid": valid,
+        "torn": torn,
+        "worker_files": len(shard_paths),
+        "offsets": offsets,
+    }
+    return records, stats
+
+
+def load_spec(directory):
+    """The directory's ``spec.json`` as a CampaignSpec, or None.
+
+    Tolerant: a missing, unparsable or foreign spec file simply disables
+    orphan detection for the directory — it never fails a survey.
+    """
+    path = os.path.join(directory, SPEC_FILE)
+    if not os.path.isfile(path):
+        return None
+    try:
+        return CampaignSpec.from_json_file(path)
+    except Exception:
+        return None
+
+
+def _survey(directory):
+    """``(summary, records, orphans, offsets)`` for one campaign dir."""
+    records, stats = load_records(directory)
+    spec = load_spec(directory)
+    spec_cells = None
+    kind = "?"
+    orphans = set()
+    if spec is not None:
+        kind = spec.kind
+        spec_keys = {descriptor.key() for descriptor in spec.expand()}
+        spec_cells = len(spec_keys)
+        orphans = set(records) - spec_keys
+    summary = CampaignSummary(
+        name=os.path.basename(os.path.normpath(directory)),
+        directory=directory,
+        kind=kind,
+        spec_cells=spec_cells,
+        stored=len(records),
+        current=len(records) - len(orphans),
+        orphaned=len(orphans),
+        superseded=stats["valid"] - len(records),
+        torn=stats["torn"],
+        worker_files=stats["worker_files"],
+    )
+    return summary, records, orphans, stats["offsets"]
+
+
+def summarize(directory):
+    """Survey one campaign directory (the ``campaign ls`` row)."""
+    return _survey(directory)[0]
+
+
+def _compact(directory, summary, records, orphans):
+    """Rewrite one directory per an already-computed survey (gc apply).
+
+    Atomic (temp file + ``os.replace``): one canonical line per
+    surviving key in first-seen order; worker streams are removed (their
+    records are already folded into ``records``).  A directory with
+    nothing to drop is left byte-untouched.
+    """
+    if not summary.droppable() and not summary.worker_files:
+        return
+    path = os.path.join(directory, RESULTS_FILE)
+    tmp = "{}.gc.{}".format(path, os.getpid())
+    with open(tmp, "w") as handle:
+        for key, record in records.items():
+            if key in orphans:
+                continue
+            handle.write(encode_line(record))
+            handle.write("\n")
+    os.replace(tmp, path)
+    for worker_path in worker_files(directory):
+        os.remove(worker_path)
+
+
+@dataclasses.dataclass
+class RootReport:
+    """A whole store root's gc plan (or applied result)."""
+
+    root: str
+    summaries: list
+    #: Index entries that no longer verify against the row files.
+    index_stale: int = 0
+    #: Stored keys the index does not cover.
+    index_missing: int = 0
+    #: True when the root has an ``index.jsonl``.
+    has_index: bool = False
+    applied: bool = False
+
+    def droppable(self):
+        """Total lines a ``gc --apply`` would remove across the root."""
+        return sum(summary.droppable() for summary in self.summaries)
+
+
+def gc_root(root, dirs=None, apply=False):
+    """Plan/apply gc for every campaign under ``root``.
+
+    ``dirs`` restricts the pass to explicit campaign directories
+    (defaults to every subdirectory holding a ``results.jsonl``).  With
+    ``apply`` the root index is rebuilt afterwards — compaction moves
+    offsets, and rebuilding is exactly how a diverged index is repaired.
+    """
+    if dirs is None:
+        dirs = [os.path.join(root, name) for name in campaign_dirs(root)]
+    has_index = os.path.exists(os.path.join(root, INDEX_FILE))
+    surveys = [(directory,) + _survey(directory) for directory in dirs]
+    index_stale = index_missing = 0
+    if has_index and not apply:
+        # Verify the index against the surveys' single sequential pass:
+        # an entry is live iff the surveyed (campaign, offset) still
+        # holds its key.  Entries pointing outside the surveyed dirs
+        # fall back to a per-key seek (rare: explicit --dir subsets).
+        index = StoreIndex(root)
+        offsets_by_name = {
+            os.path.basename(os.path.normpath(directory)): offsets
+            for directory, _s, _r, _o, offsets in surveys
+        }
+        for key, campaign, offset in index.entries():
+            if campaign in offsets_by_name:
+                live = offsets_by_name[campaign].get(offset) == key
+            else:
+                live = index.lookup(key) is not None
+            index_stale += 0 if live else 1
+        indexed = set(index.keys())
+        for _directory, _summary, _records, _orphans, offsets in surveys:
+            # Only main-stream keys count: worker shard streams are
+            # deliberately unindexed until a reconcile folds them in.
+            index_missing += len(set(offsets.values()) - indexed)
+    summaries = []
+    for directory, summary, records, orphans, _offsets in surveys:
+        if apply:
+            _compact(directory, summary, records, orphans)
+        summaries.append(summary)
+    if apply and (has_index or campaign_dirs(root)):
+        StoreIndex(root).rebuild()
+    return RootReport(
+        root=root,
+        summaries=summaries,
+        index_stale=index_stale,
+        index_missing=index_missing,
+        has_index=has_index,
+        applied=apply,
+    )
+
+
+def merged_records(dirs):
+    """One ``key -> (campaign, record)`` map across campaign directories.
+
+    Directories are taken in the given order, keys within one campaign
+    in first-seen order; the first campaign holding a key wins (under
+    the dedup contract every holder's record is byte-identical anyway).
+    """
+    merged = {}
+    for directory in dirs:
+        name = os.path.basename(os.path.normpath(directory))
+        records, _stats = load_records(directory)
+        for key, record in records.items():
+            if key not in merged:
+                merged[key] = (name, record)
+    return merged
+
+
+def export_jsonl(merged, stream):
+    """Write merged records as canonical JSONL (store-byte-identical).
+
+    Each line is exactly the line a store would write for that record,
+    so exported rows round-trip losslessly.  Returns the row count.
+    """
+    for _campaign, record in merged.values():
+        stream.write(encode_line(record))
+        stream.write("\n")
+    return len(merged)
+
+
+def export_csv(merged, stream):
+    """Write merged scalar rows as CSV; returns the row count.
+
+    Columns: ``campaign``, ``key``, then the scalar row fields
+    (:data:`ROW_COLUMNS` order, extra fields appended alphabetically).
+    Fields a row lacks (e.g. ``scenario`` on legacy cells) are blank.
+    """
+    extra = set()
+    for _campaign, record in merged.values():
+        extra.update(record.get("row", {}))
+    columns = [c for c in ROW_COLUMNS if c in extra or c != "scenario"]
+    columns.extend(sorted(extra - set(ROW_COLUMNS)))
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(["campaign", "key"] + columns)
+    for key, (campaign, record) in merged.items():
+        row = record.get("row", {})
+        writer.writerow(
+            [campaign, key] + [row.get(column, "") for column in columns]
+        )
+    return len(merged)

@@ -1,0 +1,212 @@
+"""Cross-campaign dedup index over a campaign store root (store v2).
+
+A *store root* is a directory whose subdirectories are campaign stores
+(each holding a ``results.jsonl``).  The root-level ``index.jsonl`` maps
+every cell content key to the campaign file holding its record::
+
+    {"campaign": "table1", "key": "<sha256>", "offset": 12345}
+    {"campaign": "table1", "scanned": 67890}
+
+Lines are appended incrementally: an entry line locates one record by
+byte offset; a ``scanned`` progress line records how far into that
+campaign's ``results.jsonl`` the index has read, so a refresh scans only
+the tail appended since.  A campaign file that *shrank* (gc compaction)
+is rescanned from the start.
+
+The index is **derivable, never required**: a pre-v2 campaign directory
+joins the dedup pool on the next :meth:`StoreIndex.refresh`, and a stale
+or corrupt index is always repairable — ``campaign gc --apply`` rebuilds
+it from the row files (pinned by the store torture tests).  Lookups
+verify the record they seek to: an entry whose offset no longer holds
+its key reads as a miss, never as wrong data.
+
+Dedup scope: the lookup key is the full simulation content hash
+(:meth:`~repro.campaign.spec.RunDescriptor.key` — schema, model, seed,
+fault axis, metric, config), so dedup never crosses differing spec
+payloads: two campaigns share a key exactly when the cell is the same
+simulation.  Worker shard streams are deliberately not indexed — they
+are transient; :meth:`~repro.campaign.store.ResultStore.reconcile`
+(or gc) folds them into ``results.jsonl``, where the next refresh
+picks them up.
+"""
+
+import json
+import os
+
+from repro.campaign.store import RESULTS_FILE, worker_files
+
+INDEX_FILE = "index.jsonl"
+
+
+def campaign_dirs(root):
+    """Sorted names of the campaign directories under ``root``.
+
+    A campaign directory is any subdirectory holding a ``results.jsonl``
+    (v1 directories qualify unchanged) or — for a campaign only worker
+    shards have written to so far — any ``results.worker-*.jsonl``.
+    """
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return []
+    return [
+        name for name in names
+        if os.path.isfile(os.path.join(root, name, RESULTS_FILE))
+        or worker_files(os.path.join(root, name))
+    ]
+
+
+def iter_jsonl(path, start=0):
+    """Yield ``(line_start, line_end, record)`` per *complete* line.
+
+    Byte-offset based (binary read).  A final line without a newline — a
+    torn append still in flight — is never yielded, so its bytes stay
+    below the scan watermark and are revisited once the line completes.
+    Complete but unparsable lines yield ``record=None``: they advance
+    the watermark (gc counts and drops them).
+    """
+    with open(path, "rb") as handle:
+        if start:
+            handle.seek(start)
+        offset = start
+        for line in handle:
+            end = offset + len(line)
+            if not line.endswith(b"\n"):
+                return  # torn tail
+            begin, offset = offset, end
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                record = None
+            if not isinstance(record, dict):
+                record = None
+            yield begin, end, record
+
+
+class StoreIndex:
+    """Incremental content-key → ``(campaign, offset)`` index of a root."""
+
+    def __init__(self, root):
+        self.root = root
+        self.path = os.path.join(root, INDEX_FILE)
+        self._entries = {}   # key -> (campaign, offset)
+        self._scanned = {}   # campaign -> bytes covered by the index
+        self._load()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def keys(self):
+        """The indexed cell keys."""
+        return self._entries.keys()
+
+    def entries(self):
+        """``(key, campaign, offset)`` triples of every index entry."""
+        return [
+            (key, campaign, offset)
+            for key, (campaign, offset) in self._entries.items()
+        ]
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        for _begin, _end, record in iter_jsonl(self.path):
+            if record is None:
+                continue  # torn/garbage index lines cost only themselves
+            campaign = record.get("campaign")
+            if campaign is None:
+                continue
+            if "key" in record:
+                self._entries[record["key"]] = (
+                    campaign, record.get("offset", -1)
+                )
+            elif "scanned" in record:
+                self._scanned[campaign] = record["scanned"]
+
+    def refresh(self, persist=True):
+        """Index every row appended under the root since the last pass.
+
+        Returns the number of new entries.  Appends to ``index.jsonl``
+        only when something new was scanned, so a refresh over an
+        unchanged root writes nothing.  ``persist=False`` keeps the new
+        entries in memory only — what a sharded worker fleet uses so N
+        concurrent refreshes don't append the same backlog N times (one
+        designated writer persists; everyone else just reads).
+        """
+        added = []
+        for name in campaign_dirs(self.root):
+            path = os.path.join(self.root, name, RESULTS_FILE)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            start = self._scanned.get(name, 0)
+            if size < start:
+                start = 0  # file shrank: compacted/rewritten — rescan
+            if size == start:
+                continue
+            watermark = start
+            for begin, end, record in iter_jsonl(path, start=start):
+                watermark = end
+                if record is None or not record.get("key"):
+                    continue
+                key = record["key"]
+                self._entries[key] = (name, begin)
+                added.append(
+                    {"campaign": name, "key": key, "offset": begin}
+                )
+            if watermark != self._scanned.get(name):
+                self._scanned[name] = watermark
+                added.append({"campaign": name, "scanned": watermark})
+        if added and persist:
+            with open(self.path, "a") as handle:
+                for entry in added:
+                    handle.write(
+                        json.dumps(entry, sort_keys=True,
+                                   separators=(",", ":"))
+                    )
+                    handle.write("\n")
+        return sum(1 for entry in added if "key" in entry)
+
+    def lookup(self, key):
+        """The stored record for ``key``, or None.
+
+        Seeks straight to the indexed offset (no file scan) and verifies
+        the record found there actually carries ``key`` — a compacted or
+        diverged file reads as a miss, never as another cell's data.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        campaign, offset = entry
+        path = os.path.join(self.root, campaign, RESULTS_FILE)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                line = handle.readline()
+        except (OSError, ValueError):
+            return None
+        if not line.endswith(b"\n"):
+            return None
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None  # stale entry (row file changed underneath)
+        return record
+
+    def stale_keys(self):
+        """Keys whose entries no longer verify (diverged index)."""
+        return [key for key in self._entries if self.lookup(key) is None]
+
+    def rebuild(self):
+        """Drop the index file and re-derive it from the row files."""
+        self._entries.clear()
+        self._scanned.clear()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+        return self.refresh()

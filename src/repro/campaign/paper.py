@@ -87,8 +87,19 @@ def artifact(report):
     """The report's artefact, per its spec ``kind``.
 
     table1/table2 → row dicts; figure4 → panel data; grid → the flat
-    scalar rows of every cell.
+    scalar rows of every cell.  A sharded worker's report is partial by
+    design (it holds only that worker's cells plus cache/dedup hits), so
+    it is refused here — run a merge pass (no ``worker_id``) against the
+    shared store once the fleet drains to assemble the artefact.
     """
+    if getattr(report, "pending_elsewhere", 0):
+        raise ValueError(
+            "cannot assemble an artefact from worker {}'s partial report "
+            "({} cells on other shards); rerun without --worker-id after "
+            "the fleet drains".format(
+                report.worker_id, report.pending_elsewhere
+            )
+        )
     kind = report.spec.kind
     if kind == "table1":
         return table1_from_runs(report.results)

@@ -61,6 +61,12 @@ class RunDescriptor:
         (:attr:`~repro.platform.scenario.FaultEvent._CANONICAL_OPTIONAL`),
         so pre-v2 scenario cells keep their PR 3 keys byte-for-byte
         while any event using a v2 kind mints a fresh key.
+
+        Because the key covers the *entire* simulation payload, it is
+        also the cross-campaign dedup key
+        (:class:`~repro.campaign.index.StoreIndex`): two campaigns share
+        a key exactly when the cell is the same simulation, so dedup
+        never crosses differing spec payloads.
         """
         payload = {
             "schema": HASH_SCHEMA_VERSION,

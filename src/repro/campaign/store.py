@@ -1,13 +1,32 @@
-"""Persistent campaign result store (append-only JSONL).
+"""Persistent campaign result store (append-only JSONL, v2).
 
 One :class:`ResultStore` wraps a campaign directory.  Finished cells are
 appended to ``results.jsonl`` as they complete — the checkpoint stream —
-and loaded back into memory on open (last record per key wins, so a
+and loaded back into memory once on open (last record per key wins, so a
 truncated final line from a crash costs only itself).  Records are keyed
 by :meth:`RunDescriptor.key`; see the package docstring for the
 stability contract.
+
+Store v2 adds multi-writer sharding: a store opened with ``worker=K``
+appends to its own ``results.worker-K.jsonl`` instead of the shared
+``results.jsonl``, so independent worker processes — or machines sharing
+a filesystem — can drain one campaign without write contention or file
+locks.  Every reader merges the main stream plus all worker streams
+(main first, then workers in sorted name order; shards are key-disjoint
+so the order is immaterial), and :meth:`ResultStore.reconcile` folds the
+worker streams back into ``results.jsonl`` verbatim — byte-identical
+lines — and removes them.  Because records are keyed and last-write-wins,
+reconciliation needs no lock: a line duplicated by a rare race is merely
+superseded by itself.
+
+The completed-key set is memoised: each stream is scanned exactly once,
+on open, and every ``has_result``/``__contains__`` check afterwards is a
+dict lookup — resume paths never re-read ``results.jsonl`` per key
+(pinned by ``tests/campaign/test_executor.py``).  The per-instance
+``scans`` counter records how many stream files were read.
 """
 
+import fnmatch
 import json
 import os
 
@@ -15,6 +34,36 @@ from repro.experiments.runner import RunResult
 
 RESULTS_FILE = "results.jsonl"
 SPEC_FILE = "spec.json"
+
+#: Glob matching per-worker append streams (see ``worker_results_file``).
+WORKER_RESULTS_PATTERN = "results.worker-*.jsonl"
+
+
+def worker_results_file(worker):
+    """Name of worker ``K``'s private append stream."""
+    return "results.worker-{}.jsonl".format(worker)
+
+
+def worker_files(directory):
+    """Sorted paths of the worker streams present in ``directory``."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return [
+        os.path.join(directory, name)
+        for name in sorted(fnmatch.filter(names, WORKER_RESULTS_PATTERN))
+    ]
+
+
+def encode_line(record):
+    """The canonical, byte-stable JSONL serialisation of one record.
+
+    Every writer (checkpoint append, dedup copy, gc compaction, JSONL
+    export) uses this exact form, which is what makes cross-campaign
+    reuse *byte*-identical, not merely value-identical.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
 class StoredSeries:
@@ -104,21 +153,54 @@ def decode_result(record):
     )
 
 
-class ResultStore:
-    """Keyed, append-only store of finished campaign cells."""
+def record_satisfies(record, descriptor):
+    """True when a stored record is usable for ``descriptor``.
 
-    def __init__(self, directory):
+    A record without a series does not satisfy a descriptor that asks
+    for one (``keep_series`` is not part of the key).  Shared between
+    the store's own cache checks and cross-campaign dedup lookups.
+    """
+    if record is None:
+        return False
+    if descriptor.keep_series and record.get("series") is None:
+        return False
+    return True
+
+
+class ResultStore:
+    """Keyed, append-only store of finished campaign cells.
+
+    ``worker=K`` opens the store in shard mode: reads still merge every
+    stream, but appends go to this worker's private
+    ``results.worker-K.jsonl`` so concurrent workers never share a write
+    handle.
+    """
+
+    def __init__(self, directory, worker=None):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, RESULTS_FILE)
+        self.worker = worker
+        self.write_path = (
+            self.path if worker is None
+            else os.path.join(directory, worker_results_file(worker))
+        )
         self._records = {}
         self._handle = None
+        #: Stream files scanned since open (the memoisation invariant:
+        #: this never grows after ``__init__``).
+        self.scans = 0
         self._load()
 
     def _load(self):
-        if not os.path.exists(self.path):
-            return
-        with open(self.path) as handle:
+        for path in [self.path] + worker_files(self.directory):
+            if os.path.exists(path):
+                self._scan_file(path)
+
+    def _scan_file(self, path):
+        """Fold one JSONL stream into the memoised record map."""
+        self.scans += 1
+        with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -127,6 +209,8 @@ class ResultStore:
                     record = json.loads(line)
                 except ValueError:
                     continue  # torn final line from an interrupted append
+                if not isinstance(record, dict):
+                    continue  # valid JSON, but not a record
                 key = record.get("key")
                 if key:
                     self._records[key] = record
@@ -138,7 +222,8 @@ class ResultStore:
         return key in self._records
 
     def keys(self):
-        """The stored cell keys."""
+        """Memoised set view of the completed cell keys (no file access:
+        the streams were scanned once, at open)."""
         return self._records.keys()
 
     def get(self, key):
@@ -155,11 +240,7 @@ class ResultStore:
         record = self._records.get(
             key if key is not None else descriptor.key()
         )
-        if record is None:
-            return False
-        if descriptor.keep_series and record.get("series") is None:
-            return False
-        return True
+        return record_satisfies(record, descriptor)
 
     def load_result(self, descriptor, key=None):
         """The cached :class:`RunResult` for ``descriptor``."""
@@ -167,24 +248,88 @@ class ResultStore:
             self._records[key if key is not None else descriptor.key()]
         )
 
-    def save_result(self, descriptor, result, key=None):
-        """Append one finished cell and flush (the resume checkpoint)."""
-        record = encode_result(descriptor, result, key=key)
+    def save_record(self, record):
+        """Append one raw record line (canonical form) and flush.
+
+        The path dedup copies and gc rewrites go through: the line
+        written is byte-identical to what any other store writes for the
+        same record.
+        """
+        if not record.get("key"):
+            raise ValueError("store records need a non-empty 'key'")
         if self._handle is None:
-            self._handle = open(self.path, "a")
-        self._handle.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-        )
+            self._handle = open(self.write_path, "a")
+        self._handle.write(encode_line(record))
         self._handle.write("\n")
         self._handle.flush()
         self._records[record["key"]] = record
         return record
 
+    def save_result(self, descriptor, result, key=None):
+        """Append one finished cell and flush (the resume checkpoint)."""
+        return self.save_record(encode_result(descriptor, result, key=key))
+
+    def reconcile(self):
+        """Fold every worker stream into ``results.jsonl`` and drop them.
+
+        Lock-free: complete lines are appended verbatim (byte-identical)
+        and keyed records make any racy duplicate merely self-superseding.
+        Each stream is re-read until its size is stable, so a worker that
+        finished flushing moments ago loses nothing — but reconcile is a
+        *post-fleet* operation: rows a still-running worker appends after
+        the final read are dropped with its stream.  Losing such a row
+        never corrupts data (results are deterministic; a later resume
+        simply re-executes the cell), it only discards work.  ``campaign
+        gc --apply`` runs this too.  Returns the number of lines folded.
+        """
+        paths = worker_files(self.directory)
+        if not paths:
+            return 0
+        self.close()
+        folded = 0
+        with open(self.path, "a") as out:
+            for path in paths:
+                consumed = 0
+                while True:
+                    with open(path, "rb") as handle:
+                        handle.seek(consumed)
+                        data = handle.read()
+                    progressed = 0
+                    for line in data.splitlines(keepends=True):
+                        if not line.endswith(b"\n"):
+                            break  # torn tail: an append still in flight
+                        progressed += len(line)
+                        if not line.strip():
+                            continue
+                        try:
+                            record = json.loads(line.decode("utf-8"))
+                        except (ValueError, UnicodeDecodeError):
+                            continue
+                        if not isinstance(record, dict) or not record.get(
+                                "key"):
+                            continue
+                        out.write(line.decode("utf-8"))
+                        folded += 1
+                    consumed += progressed
+                    if not progressed:
+                        break  # size stable (or only a torn tail left)
+                    out.flush()
+                os.remove(path)
+            out.flush()
+        return folded
+
     def write_spec(self, spec):
-        """Record provenance: the spec that last wrote to this store."""
-        with open(os.path.join(self.directory, SPEC_FILE), "w") as handle:
+        """Record provenance: the spec that last wrote to this store.
+
+        Atomic (write-then-replace) because concurrent worker shards all
+        record the same provenance at startup.
+        """
+        path = os.path.join(self.directory, SPEC_FILE)
+        tmp = "{}.tmp.{}".format(path, os.getpid())
+        with open(tmp, "w") as handle:
             json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp, path)
 
     def close(self):
         """Close the append handle (records stay loaded)."""

@@ -10,15 +10,26 @@ Usage (after ``pip install -e .``):
     python -m repro.experiments.cli figure4 --seed 42
     python -m repro.experiments.cli campaign --paper table2 --dir campaigns/t2
     python -m repro.experiments.cli campaign --spec sweep.json
+    python -m repro.experiments.cli campaign --spec s.json --workers 4 --worker-id 0
+    python -m repro.experiments.cli campaign ls
+    python -m repro.experiments.cli campaign gc --apply
+    python -m repro.experiments.cli campaign export --format csv --out all.csv
 
 The sweep subcommands are campaigns (:mod:`repro.campaign`): they shard
 cells across ``--processes`` workers (default: REPRO_PROCESSES env, then
 ``os.cpu_count()``) and, given ``--resume [DIR]`` (or ``campaign``'s
 always-on store), checkpoint each finished cell so interrupted sweeps
-continue where they stopped and re-runs recompute nothing.  Each
-subcommand prints its artefact to stdout (progress goes to stderr);
-``--json FILE`` additionally dumps the raw rows/series for downstream
-plotting.
+continue where they stopped and re-runs recompute nothing.  Store-backed
+sweeps also consult the store root's cross-campaign dedup index (store
+v2): a cell any sibling campaign already computed is reused
+byte-identically instead of simulated (``--no-dedup`` opts out).
+``campaign --workers N --worker-id K`` drains only shard ``K`` of the
+pending cells into a private worker stream, so independent processes or
+machines sharing the store directory sweep one campaign concurrently.
+``campaign ls``/``gc``/``export`` manage store directories (survey,
+compact + repair, merged CSV/JSONL export).  Each subcommand prints its
+artefact to stdout (progress goes to stderr); ``--json FILE``
+additionally dumps the raw rows/series for downstream plotting.
 """
 
 import argparse
@@ -26,8 +37,10 @@ import json
 import os
 import sys
 
+from repro.campaign import gc as store_gc
 from repro.campaign import paper
 from repro.campaign.executor import run_campaign
+from repro.campaign.index import campaign_dirs
 from repro.campaign.spec import CampaignSpec
 from repro.experiments.figures import render_figure4
 from repro.experiments.runner import default_processes, run_single
@@ -52,6 +65,20 @@ def _add_sweep_arguments(parser, command):
         help="checkpoint per-run results under DIR (default {}/{}) and "
              "skip cells already recorded there".format(
                  DEFAULT_CAMPAIGN_ROOT, command),
+    )
+    _add_dedup_arguments(parser)
+
+
+def _add_dedup_arguments(parser):
+    parser.add_argument(
+        "--dedup-root", metavar="DIR", default=None,
+        help="store root whose cross-campaign dedup index resolves cells "
+             "sibling campaigns already computed (default: the store "
+             "directory's parent, when it holds sibling campaigns)",
+    )
+    parser.add_argument(
+        "--no-dedup", action="store_true",
+        help="skip cross-campaign dedup lookups",
     )
 
 
@@ -136,7 +163,71 @@ def build_parser():
         "--processes", type=int, default=None, metavar="N",
         help="worker processes (default: REPRO_PROCESSES, then cpu count)",
     )
+    c_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="total distributed worker shards draining this campaign "
+             "(pair with --worker-id; cells partition deterministically "
+             "by key hash)",
+    )
+    c_p.add_argument(
+        "--worker-id", type=int, default=None, metavar="K",
+        help="this worker's shard, 0-based; results append to a private "
+             "results.worker-K.jsonl merged on read",
+    )
+    _add_dedup_arguments(c_p)
     c_p.add_argument("--json", metavar="FILE")
+
+    def _add_manage_arguments(parser):
+        parser.add_argument(
+            "dirs", nargs="*", metavar="DIR",
+            help="explicit campaign directories (default: every "
+                 "subdirectory of --root holding a results.jsonl)",
+        )
+        parser.add_argument(
+            "--root", metavar="DIR", default=DEFAULT_CAMPAIGN_ROOT,
+            help="campaign store root (default: {})".format(
+                DEFAULT_CAMPAIGN_ROOT),
+        )
+
+    ls_p = sub.add_parser(
+        "campaign-ls",
+        help="survey campaign store directories (alias: campaign ls)",
+    )
+    _add_manage_arguments(ls_p)
+    ls_p.add_argument("--json", metavar="FILE")
+
+    gc_p = sub.add_parser(
+        "campaign-gc",
+        help="compact campaign stores — dry-run by default "
+             "(alias: campaign gc)",
+    )
+    _add_manage_arguments(gc_p)
+    mode = gc_p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--dry-run", action="store_true",
+        help="plan only, touch nothing (the default)",
+    )
+    mode.add_argument(
+        "--apply", action="store_true",
+        help="rewrite the stores: fold worker streams, drop "
+             "orphaned/superseded/torn lines, rebuild the root index",
+    )
+
+    ex_p = sub.add_parser(
+        "campaign-export",
+        help="export merged rows across campaigns "
+             "(alias: campaign export)",
+    )
+    _add_manage_arguments(ex_p)
+    ex_p.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl",
+        help="jsonl: canonical store records (byte-identical, lossless); "
+             "csv: scalar rows with campaign/key columns",
+    )
+    ex_p.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output file (default: stdout)",
+    )
 
     return parser
 
@@ -171,13 +262,34 @@ def _run_spec(spec, args, store=None):
     if processes is None:
         processes = default_processes()
     store = store if store is not None else getattr(args, "resume", None)
+    dedup_root = None
+    if isinstance(store, str) and not getattr(args, "no_dedup", False):
+        # Store-backed sweeps consult the store root's dedup index: any
+        # cell a sibling campaign already holds is reused, not re-run.
+        # Without an explicit --dedup-root the store's parent qualifies
+        # only when it actually holds sibling campaigns — an ad-hoc
+        # store directory must not make us scan (or drop an index.jsonl
+        # into) an unrelated parent directory.
+        dedup_root = getattr(args, "dedup_root", None)
+        if dedup_root is None:
+            candidate = os.path.dirname(os.path.abspath(store))
+            own = os.path.basename(os.path.abspath(store))
+            if any(name != own for name in campaign_dirs(candidate)):
+                dedup_root = candidate
     report = run_campaign(
         spec,
         store=store,
         processes=processes,
         progress=_progress_printer(spec.name),
         use_cache=not getattr(args, "fresh", False),
+        dedup_root=dedup_root,
+        workers=getattr(args, "workers", None),
+        worker_id=getattr(args, "worker_id", None),
     )
+    if report.pending_elsewhere:
+        # A worker's progress stops short of the grid total, so the
+        # \r-progress line is still open — terminate it ourselves.
+        sys.stderr.write("\n")
     print(report.summary(), file=sys.stderr)
     return report
 
@@ -294,6 +406,8 @@ def cmd_scenario(args):
 
 def cmd_campaign(args):
     """``campaign`` subcommand: spec file or canonical paper campaign."""
+    if (args.workers is None) != (args.worker_id is None):
+        raise SystemExit("--workers and --worker-id go together")
     if args.spec:
         spec = CampaignSpec.from_json_file(args.spec)
     elif args.paper in ("table1", "table2"):
@@ -302,6 +416,17 @@ def cmd_campaign(args):
         spec = paper.PAPER_SPECS[args.paper](seed=args.seed)
     store = args.dir or os.path.join(DEFAULT_CAMPAIGN_ROOT, spec.name)
     report = _run_spec(spec, args, store=store)
+    if report.pending_elsewhere:
+        # A worker shard's report is partial by design: no artefact yet.
+        print(
+            "worker {} drained its shard; {} cells belong to other "
+            "workers — rerun without --worker-id once the fleet is done "
+            "to assemble the artefact".format(
+                report.worker_id, report.pending_elsewhere
+            ),
+            file=sys.stderr,
+        )
+        return 0
     artefact = paper.artifact(report)
     if spec.kind in ("table1", "table2"):
         print(format_table(artefact, spec.kind))
@@ -325,6 +450,82 @@ def cmd_campaign(args):
     return 0
 
 
+def _manage_dirs(args):
+    """The campaign directories a management subcommand operates on."""
+    if args.dirs:
+        return list(args.dirs)
+    return [
+        os.path.join(args.root, name) for name in campaign_dirs(args.root)
+    ]
+
+
+def cmd_campaign_ls(args):
+    """``campaign ls``: survey campaign store directories."""
+    dirs = _manage_dirs(args)
+    if not dirs:
+        print("no campaign directories under {}".format(args.root))
+        return 0
+    summaries = [store_gc.summarize(directory) for directory in dirs]
+    header = "{:<18} {:<8} {:>9} {:>6} {:>9} {:>11} {:>5} {:>8}".format(
+        "campaign", "kind", "cells", "done%", "orphaned", "superseded",
+        "torn", "workers",
+    )
+    print(header)
+    for summary in summaries:
+        if summary.spec_cells is None:
+            cells, done = str(summary.stored), "-"
+        else:
+            cells = "{}/{}".format(summary.current, summary.spec_cells)
+            done = "{:.0f}%".format(summary.completion())
+        print("{:<18} {:<8} {:>9} {:>6} {:>9} {:>11} {:>5} {:>8}".format(
+            summary.name, summary.kind, cells, done, summary.orphaned,
+            summary.superseded, summary.torn, summary.worker_files,
+        ))
+    _dump_json(args.json, [summary.as_dict() for summary in summaries])
+    return 0
+
+
+def cmd_campaign_gc(args):
+    """``campaign gc``: compact stores (dry-run unless ``--apply``)."""
+    report = store_gc.gc_root(
+        args.root, dirs=args.dirs or None, apply=args.apply
+    )
+    verb = "dropped" if args.apply else "would drop"
+    for summary in report.summaries:
+        print(
+            "{}: {} {} superseded, {} orphaned, {} torn/garbage lines; "
+            "{} worker streams {}".format(
+                summary.name, verb, summary.superseded, summary.orphaned,
+                summary.torn, summary.worker_files,
+                "folded" if args.apply else "to fold",
+            )
+        )
+    if report.applied:
+        print("index: rebuilt at {}".format(
+            os.path.join(args.root, "index.jsonl")))
+    elif report.has_index:
+        print("index: {} stale entries, {} stored keys unindexed".format(
+            report.index_stale, report.index_missing))
+    if not args.apply:
+        print("(dry run — pass --apply to execute)")
+    return 0
+
+
+def cmd_campaign_export(args):
+    """``campaign export``: merged rows across campaign directories."""
+    merged = store_gc.merged_records(_manage_dirs(args))
+    writer = (store_gc.export_csv if args.format == "csv"
+              else store_gc.export_jsonl)
+    if args.out:
+        with open(args.out, "w") as stream:
+            count = writer(merged, stream)
+        print("exported {} rows to {}".format(count, args.out),
+              file=sys.stderr)
+    else:
+        writer(merged, sys.stdout)
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "table1": cmd_table1,
@@ -332,11 +533,29 @@ COMMANDS = {
     "figure4": cmd_figure4,
     "scenario": cmd_scenario,
     "campaign": cmd_campaign,
+    "campaign-ls": cmd_campaign_ls,
+    "campaign-gc": cmd_campaign_gc,
+    "campaign-export": cmd_campaign_export,
 }
+
+#: ``campaign <action>`` spellings routed to ``campaign-<action>``.
+MANAGE_ACTIONS = ("ls", "gc", "export")
 
 
 def main(argv=None):
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # `campaign ls/gc/export DIR...` is sugar for the campaign-<action>
+    # subcommands (argparse cannot mix `campaign --spec ...` with real
+    # nested subparsers).
+    if (
+        len(argv) > 1
+        and argv[0] == "campaign"
+        and argv[1] in MANAGE_ACTIONS
+    ):
+        argv[0:2] = ["campaign-" + argv[1]]
     args = build_parser().parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -1,5 +1,7 @@
 """Tests for the sharded campaign executor and checkpoint/resume."""
 
+import os
+
 import pytest
 
 from repro.campaign.executor import run_campaign
@@ -114,3 +116,36 @@ def test_accepts_open_store_without_closing_it(spec, tmp_path):
 def test_spec_provenance_written(spec, tmp_path):
     run_campaign(spec, store=str(tmp_path), processes=1)
     assert (tmp_path / "spec.json").exists()
+
+
+def test_resume_reads_results_stream_exactly_once(spec, tmp_path,
+                                                  monkeypatch):
+    """Regression: resume paths must hit the memoised key set, never
+    re-read ``results.jsonl`` per completed-key check — the whole warm
+    pass performs one scan of one stream file."""
+    store_dir = str(tmp_path)
+    run_campaign(spec, store=store_dir, processes=0)
+    scans = []
+    real_scan = ResultStore._scan_file
+
+    def counting_scan(self, path):
+        scans.append(os.path.basename(path))
+        return real_scan(self, path)
+
+    monkeypatch.setattr(ResultStore, "_scan_file", counting_scan)
+    warm = run_campaign(spec, store=store_dir, processes=0)
+    assert warm.executed == 0
+    assert warm.cached == spec.size()  # every cell was a key-set hit
+    assert scans == ["results.jsonl"]
+
+
+def test_completed_key_checks_never_rescan(spec, tmp_path):
+    store_dir = str(tmp_path)
+    run_campaign(spec, store=store_dir, processes=0)
+    store = ResultStore(store_dir)
+    assert store.scans == 1
+    keys = store.keys()
+    for descriptor in spec.expand():
+        assert descriptor.key() in keys
+        assert store.has_result(descriptor)
+    assert store.scans == 1  # memoised: zero additional file reads

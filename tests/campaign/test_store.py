@@ -81,3 +81,46 @@ class TestResultStore:
         reopened = ResultStore(str(tmp_path))
         assert len(reopened) == 1
         assert reopened.has_result(descriptor)
+
+
+class TestWorkerStreams:
+    def test_worker_store_appends_to_private_stream(self, tmp_path,
+                                                    descriptor, result):
+        store = ResultStore(str(tmp_path), worker=2)
+        store.save_result(descriptor, result)
+        store.close()
+        assert (tmp_path / "results.worker-2.jsonl").exists()
+        assert not (tmp_path / "results.jsonl").exists()
+
+    def test_readers_merge_worker_streams(self, tmp_path, descriptor,
+                                          result):
+        with ResultStore(str(tmp_path), worker=0) as store:
+            store.save_result(descriptor, result)
+        reader = ResultStore(str(tmp_path))
+        assert reader.has_result(descriptor)
+        assert reader.load_result(descriptor).as_row() == result.as_row()
+
+    def test_reconcile_folds_streams_byte_identically(self, tmp_path,
+                                                      descriptor, result):
+        with ResultStore(str(tmp_path), worker=0) as store:
+            store.save_result(descriptor, result)
+        worker_line = (tmp_path / "results.worker-0.jsonl").read_bytes()
+        merged = ResultStore(str(tmp_path))
+        assert merged.reconcile() == 1
+        assert not (tmp_path / "results.worker-0.jsonl").exists()
+        assert (tmp_path / "results.jsonl").read_bytes() == worker_line
+        assert ResultStore(str(tmp_path)).has_result(descriptor)
+
+    def test_reconcile_without_streams_is_a_noop(self, tmp_path,
+                                                 descriptor, result):
+        with ResultStore(str(tmp_path)) as store:
+            store.save_result(descriptor, result)
+        before = (tmp_path / "results.jsonl").read_bytes()
+        store = ResultStore(str(tmp_path))
+        assert store.reconcile() == 0
+        assert (tmp_path / "results.jsonl").read_bytes() == before
+
+    def test_save_record_requires_key(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.save_record({"row": {}})

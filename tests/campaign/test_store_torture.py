@@ -1,0 +1,348 @@
+"""Store-v2 torture layer: property tests over the persistence formats.
+
+Hypothesis drives synthetic record streams (no simulations — fast)
+through the failure modes a long-lived multi-writer store actually
+meets: torn and truncated appends, garbage lines interleaved with good
+ones, duplicate keys, worker shard streams, index/row divergence, and
+export round-trips.  The properties pinned here are the ones every
+other layer (executor resume, cross-campaign dedup, gc) builds on:
+
+* a reader never invents data — every loaded record byte-matches one
+  that was written, no matter where a crash cut the file;
+* the last complete write per key wins;
+* any index/row divergence is repaired by ``gc --apply`` (rebuild);
+* exported JSONL rows are byte-identical to store lines (lossless).
+"""
+
+import json
+import os
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.gc import export_jsonl, gc_root, load_records, merged_records
+from repro.campaign.index import StoreIndex, iter_jsonl
+from repro.campaign.store import (
+    ResultStore,
+    encode_line,
+    worker_results_file,
+)
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Small key pool so duplicate-key (supersede) paths are actually hit.
+pool_keys = st.sampled_from(["k{:02d}".format(i) for i in range(8)])
+values = st.integers(min_value=-10**6, max_value=10**6)
+
+
+def make_record(key, value=0):
+    """A minimal record the full decode path accepts."""
+    return {
+        "key": key,
+        "model": "none",
+        "seed": 1,
+        "faults": 0,
+        "row": {
+            "model": "none",
+            "seed": 1,
+            "faults": 0,
+            "settling_time_ms": float(value),
+            "settled_performance": float(value),
+            "recovery_time_ms": 0.0,
+            "recovered_performance": float(value),
+            "total_switches": value,
+        },
+        "app_stats": {},
+        "noc_stats": {},
+        "total_switches": value,
+        "series": None,
+    }
+
+
+def write_lines(path, lines):
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+
+
+@given(writes=st.lists(st.tuples(pool_keys, values), max_size=30))
+@SETTINGS
+def test_duplicate_keys_last_write_wins(writes):
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "results.jsonl")
+        write_lines(
+            path,
+            [encode_line(make_record(k, v)) + "\n" for k, v in writes],
+        )
+        store = ResultStore(directory)
+        expected = dict(writes)  # dict() keeps the last value per key
+        assert set(store.keys()) == set(expected)
+        for key, value in expected.items():
+            assert store.get(key)["total_switches"] == value
+
+
+@given(
+    keys=st.lists(
+        st.text("abcdef0123456789", min_size=4, max_size=12),
+        min_size=1, max_size=12, unique=True,
+    ),
+    data=st.data(),
+)
+@SETTINGS
+def test_truncation_never_invents_records(keys, data):
+    """A crash can cut the stream anywhere; the reader keeps exactly the
+    complete prefix (± the final line when the cut lands on its closing
+    brace) and never yields a record that was not written."""
+    lines = [encode_line(make_record(k, i)) + "\n" for i, k in enumerate(keys)]
+    blob = "".join(lines).encode("utf-8")
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "results.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        store = ResultStore(directory)
+        consumed = 0
+        fully_before = set()
+        started_before = set()
+        for key, line in zip(keys, lines):
+            if consumed + len(line.encode("utf-8")) <= cut:
+                fully_before.add(key)
+            if consumed < cut:
+                started_before.add(key)
+            consumed += len(line.encode("utf-8"))
+        loaded = set(store.keys())
+        assert fully_before <= loaded <= started_before
+        for key in loaded:
+            assert store.get(key) == make_record(key, keys.index(key))
+
+
+line_kinds = st.one_of(
+    st.tuples(st.just("record"), pool_keys, values),
+    st.tuples(st.just("garbage"),
+              st.sampled_from(["not json at all", "[1, 2, 3]", "42",
+                               '"just a string"', "{\"no\": \"key\"}"]),
+              st.just(0)),
+    st.tuples(st.just("blank"), st.just(""), st.just(0)),
+)
+
+
+@given(
+    parts=st.lists(line_kinds, max_size=25),
+    torn_tail=st.booleans(),
+)
+@SETTINGS
+def test_interleaved_garbage_and_torn_tail_are_ignored(parts, torn_tail):
+    lines = []
+    expected = {}
+    for kind, payload, value in parts:
+        if kind == "record":
+            lines.append(encode_line(make_record(payload, value)) + "\n")
+            expected[payload] = value
+        elif kind == "garbage":
+            lines.append(payload + "\n")
+        else:
+            lines.append("\n")
+    if torn_tail:
+        lines.append('{"key": "torn-wr')  # interrupted append, no newline
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "results.jsonl")
+        write_lines(path, lines)
+        store = ResultStore(directory)
+        assert set(store.keys()) == set(expected)
+        for key, value in expected.items():
+            assert store.get(key)["total_switches"] == value
+
+
+@given(
+    shards=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), pool_keys, values),
+        max_size=24,
+    ),
+)
+@SETTINGS
+def test_worker_streams_merge_and_reconcile_losslessly(shards):
+    """Records spread over main + worker streams read as one store, and
+    reconcile folds them into results.jsonl without changing a byte of
+    any surviving record line."""
+    with tempfile.TemporaryDirectory() as directory:
+        files = {}
+        expected = {}
+        for shard, key, value in shards:
+            # Shard 0 is the main stream; worker shards get key-disjoint
+            # namespaces, mirroring the executor's hash partition.
+            if shard == 0:
+                name = "results.jsonl"
+            else:
+                name = worker_results_file(shard)
+                key = "w{}-{}".format(shard, key)
+            files.setdefault(name, []).append(
+                encode_line(make_record(key, value)) + "\n"
+            )
+            expected[key] = value
+        for name, lines in files.items():
+            write_lines(os.path.join(directory, name), lines)
+        store = ResultStore(directory)
+        assert {k: r["total_switches"] for k, r in
+                ((k, store.get(k)) for k in store.keys())} == expected
+        folded = store.reconcile()
+        assert folded == sum(
+            len(lines) for name, lines in files.items()
+            if name != "results.jsonl"
+        )
+        assert not [
+            name for name in os.listdir(directory)
+            if name.startswith("results.worker-")
+        ]
+        reopened = ResultStore(directory)
+        # Back to (at most) the single main stream.
+        assert reopened.scans == (
+            1 if os.path.exists(os.path.join(directory, "results.jsonl"))
+            else 0
+        )
+        assert {k: reopened.get(k)["total_switches"]
+                for k in reopened.keys()} == expected
+
+
+corruptions = st.lists(
+    st.sampled_from(
+        ["shift_offsets", "wrong_campaign", "drop_index", "bogus_entry",
+         "compact_rows", "append_unindexed", "truncate_index"]
+    ),
+    min_size=1, max_size=4,
+)
+
+
+@given(
+    keys_a=st.lists(st.text("0123456789abcdef", min_size=6, max_size=6),
+                    min_size=1, max_size=6, unique=True),
+    keys_b=st.lists(st.text("ghijklmn", min_size=6, max_size=6),
+                    min_size=1, max_size=6, unique=True),
+    ops=corruptions,
+)
+@SETTINGS
+def test_index_row_divergence_always_repaired_by_gc(keys_a, keys_b, ops):
+    """However the index and the row files diverge, lookups never return
+    wrong data, and ``gc --apply`` (rebuild) restores full consistency:
+    every stored key indexed, every entry verifying."""
+    with tempfile.TemporaryDirectory() as root:
+        for name, keys in (("a", keys_a), ("b", keys_b)):
+            directory = os.path.join(root, name)
+            os.makedirs(directory)
+            write_lines(
+                os.path.join(directory, "results.jsonl"),
+                [encode_line(make_record(k, i)) + "\n"
+                 for i, k in enumerate(keys)],
+            )
+        index = StoreIndex(root)
+        index.refresh()
+        index_path = index.path
+        for op in ops:
+            present = os.path.exists(index_path)
+            if op == "shift_offsets" and present:
+                lines = []
+                for _b, _e, rec in iter_jsonl(index_path):
+                    if rec and "offset" in rec:
+                        rec["offset"] += 3
+                    if rec:
+                        lines.append(json.dumps(rec) + "\n")
+                write_lines(index_path, lines)
+            elif op == "wrong_campaign" and present:
+                lines = []
+                for _b, _e, rec in iter_jsonl(index_path):
+                    if rec and "key" in rec:
+                        rec["campaign"] = "b" if rec["campaign"] == "a" else "a"
+                    if rec:
+                        lines.append(json.dumps(rec) + "\n")
+                write_lines(index_path, lines)
+            elif op == "drop_index" and present:
+                os.remove(index_path)
+            elif op == "bogus_entry":
+                with open(index_path, "a") as handle:
+                    handle.write('{"campaign": "a", "key": "zzzz", '
+                                 '"offset": 999999}\n')
+            elif op == "compact_rows":
+                # Rewrite campaign a without its first record: every
+                # offset into it is now stale.
+                path = os.path.join(root, "a", "results.jsonl")
+                rows = [r for _b, _e, r in iter_jsonl(path) if r]
+                write_lines(
+                    path, [encode_line(r) + "\n" for r in rows[1:]]
+                )
+            elif op == "append_unindexed":
+                with open(os.path.join(root, "b", "results.jsonl"),
+                          "a") as handle:
+                    handle.write(
+                        encode_line(make_record("fresh-row", 7)) + "\n"
+                    )
+            elif op == "truncate_index":
+                if os.path.exists(index_path):
+                    size = os.path.getsize(index_path)
+                    with open(index_path, "rb+") as handle:
+                        handle.truncate(size // 2)
+            if not os.path.exists(index_path):
+                continue
+            # Diverged index: lookups may miss, but never lie.
+            diverged = StoreIndex(root)
+            for key in diverged.keys():
+                record = diverged.lookup(key)
+                assert record is None or record["key"] == key
+        gc_root(root, apply=True)
+        repaired = StoreIndex(root)
+        stored = set()
+        for name in ("a", "b"):
+            records, _stats = load_records(os.path.join(root, name))
+            stored |= set(records)
+        assert set(repaired.keys()) >= stored
+        for key in stored:
+            assert repaired.lookup(key)["key"] == key
+        assert repaired.stale_keys() == []
+
+
+@given(
+    spread=st.lists(
+        st.tuples(st.sampled_from(["alpha", "beta"]), pool_keys, values),
+        max_size=20,
+    ),
+)
+@SETTINGS
+def test_export_jsonl_rows_round_trip_byte_identically(spread):
+    with tempfile.TemporaryDirectory() as root:
+        per_dir = {}
+        for name, key, value in spread:
+            per_dir.setdefault(name, []).append(
+                encode_line(make_record(key, value)) + "\n"
+            )
+        for name, lines in per_dir.items():
+            directory = os.path.join(root, name)
+            os.makedirs(directory)
+            write_lines(os.path.join(directory, "results.jsonl"), lines)
+        dirs = [os.path.join(root, n) for n in sorted(per_dir)]
+        merged = merged_records(dirs)
+
+        class Sink:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, chunk):
+                self.chunks.append(chunk)
+
+        sink = Sink()
+        count = export_jsonl(merged, sink)
+        exported = "".join(sink.chunks).splitlines()
+        assert count == len(merged) == len(exported)
+        # Byte-identity: every exported line is exactly a store line.
+        store_lines = set()
+        for name in per_dir:
+            with open(os.path.join(root, name, "results.jsonl")) as handle:
+                store_lines.update(line.rstrip("\n") for line in handle)
+        assert set(exported) <= store_lines
+        # Losslessness: parsing the export reproduces the merged records.
+        assert {json.loads(line)["key"]: json.loads(line)
+                for line in exported} == {
+                    key: record for key, (_c, record) in merged.items()
+                }

@@ -4,8 +4,10 @@ from benchmarks.harness import (
     MODELS,
     TABLE2_FAULTS,
     check_campaign_smoke,
+    check_dedup_smoke,
     gather_zero_fault,
     run_campaign_smoke,
+    run_dedup_smoke,
     runs_per_cell,
     seed_base,
 )
@@ -58,3 +60,24 @@ def test_check_campaign_smoke_flags_reexecution():
     assert "re-executed" in check_campaign_smoke(bad)
     drifted = {"cells": 4, "warm_executed": 0, "identical": False}
     assert "differ" in check_campaign_smoke(drifted)
+
+
+def test_dedup_smoke_shared_cells_execute_nothing():
+    smoke = run_dedup_smoke()
+    assert smoke["shared_cells"] == 4
+    assert smoke["deduped"] == 4      # all resolved via the root index
+    assert smoke["executed"] == 4     # only the second campaign's faulted cells
+    assert smoke["identical"]
+    assert check_dedup_smoke(smoke) is None
+
+
+def test_check_dedup_smoke_flags_failures():
+    partial = {"shared_cells": 4, "faulted_cells": 4, "deduped": 2,
+               "executed": 4, "identical": True}
+    assert "deduped 2 of 4" in check_dedup_smoke(partial)
+    reran = {"shared_cells": 4, "faulted_cells": 4, "deduped": 4,
+             "executed": 6, "identical": True}
+    assert "executed 6" in check_dedup_smoke(reran)
+    drifted = {"shared_cells": 4, "faulted_cells": 4, "deduped": 4,
+               "executed": 4, "identical": False}
+    assert "differ" in check_dedup_smoke(drifted)

@@ -118,6 +118,60 @@ def test_parser_campaign_requires_source():
     assert args.paper == "table2"
 
 
+def test_parser_campaign_worker_and_dedup_flags():
+    args = build_parser().parse_args([
+        "campaign", "--paper", "table2",
+        "--workers", "4", "--worker-id", "1", "--no-dedup",
+    ])
+    assert args.workers == 4
+    assert args.worker_id == 1
+    assert args.no_dedup
+    args = build_parser().parse_args(["campaign", "--paper", "table1"])
+    assert args.workers is None and args.worker_id is None
+    assert not args.no_dedup and args.dedup_root is None
+    with pytest.raises(SystemExit):
+        main(["campaign", "--paper", "table1", "--workers", "2"])
+
+
+def test_parser_campaign_management_subcommands():
+    args = build_parser().parse_args(["campaign-ls"])
+    assert args.root == "campaigns" and args.dirs == []
+    args = build_parser().parse_args(["campaign-gc", "--apply", "a", "b"])
+    assert args.apply and args.dirs == ["a", "b"]
+    args = build_parser().parse_args(["campaign-gc"])
+    assert not args.apply  # dry-run is the default
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign-gc", "--dry-run", "--apply"])
+    args = build_parser().parse_args(
+        ["campaign-export", "--format", "csv", "--out", "x.csv"]
+    )
+    assert args.format == "csv" and args.out == "x.csv"
+
+
+def test_campaign_worker_sharded_run_skips_artifact(capsys, tmp_path):
+    spec_file = _mini_spec_file(tmp_path)
+    store = str(tmp_path / "store")
+    assert main([
+        "campaign", "--spec", spec_file, "--dir", store, "--processes", "0",
+        "--workers", "2", "--worker-id", "0", "--no-dedup",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "cells on other shards" in captured.err
+    assert "Foraging For Work" not in captured.out  # partial: no artefact
+    # The remaining shard + a plain merge pass assembles the artefact.
+    assert main([
+        "campaign", "--spec", spec_file, "--dir", store, "--processes", "0",
+        "--workers", "2", "--worker-id", "1", "--no-dedup",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "campaign", "--spec", spec_file, "--dir", store, "--processes", "0",
+    ]) == 0
+    merged = capsys.readouterr()
+    assert "0 executed, 8 cached" in merged.err
+    assert "Foraging For Work" in merged.out
+
+
 def _mini_spec_file(tmp_path):
     spec = {
         "name": "mini",
@@ -145,6 +199,37 @@ def test_campaign_subcommand_cold_then_resumed(capsys, tmp_path):
     warm = capsys.readouterr()
     assert "0 executed, 8 cached" in warm.err
     assert warm.out == cold.out  # bit-identical artefact off the store
+
+
+def test_campaign_dedup_defaults_to_sibling_campaigns(capsys, tmp_path):
+    """Sweeps under a shared root dedup by default; an ad-hoc store with
+    no sibling campaigns never scans (or indexes) its parent."""
+    root = tmp_path / "campaigns"
+    spec = {"name": "first", "models": ["none", "ffw"], "seeds": [1, 2],
+            "fault_counts": [0], "base": "small", "kind": "grid"}
+    first_file = tmp_path / "first.json"
+    first_file.write_text(json.dumps(spec))
+    second_file = tmp_path / "second.json"
+    second_file.write_text(json.dumps(
+        dict(spec, name="second", fault_counts=[0, 2])
+    ))
+    assert main(["campaign", "--spec", str(first_file),
+                 "--dir", str(root / "first"), "--processes", "0"]) == 0
+    # First campaign has no siblings: nothing scanned, no index dropped.
+    assert not (tmp_path / "index.jsonl").exists()
+    assert not (root / "index.jsonl").exists()
+    capsys.readouterr()
+    assert main(["campaign", "--spec", str(second_file),
+                 "--dir", str(root / "second"), "--processes", "0"]) == 0
+    err = capsys.readouterr().err
+    assert "4 deduped" in err        # the shared zero-fault cells
+    assert (root / "index.jsonl").exists()
+    capsys.readouterr()
+    # --no-dedup opts out entirely.
+    assert main(["campaign", "--spec", str(second_file),
+                 "--dir", str(root / "optout"), "--processes", "0",
+                 "--no-dedup"]) == 0
+    assert "deduped" not in capsys.readouterr().err
 
 
 def test_campaign_fresh_recomputes(capsys, tmp_path):

@@ -1,0 +1,116 @@
+"""Cross-campaign dedup: table2 reuses table1's cells bit-identically.
+
+The store-v2 contract this pins: when two campaigns under one store root
+share cell keys (the key hashes the full simulation payload, so shared
+key ⇔ same simulation), the second campaign executes **zero**
+simulations for the shared cells — it resolves them through the root's
+dedup index — and the reused rows are bit-identical (byte-identical
+record lines, value-identical rows) to a fresh sequential run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.index import StoreIndex
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.runner import run_single
+from repro.platform.config import PlatformConfig
+
+_CONFIG = PlatformConfig.small(horizon_us=120_000, fault_time_us=60_000)
+_MODELS = ("none", "foraging_for_work")
+_SEEDS = (31, 32)
+
+
+def _table1_spec():
+    return CampaignSpec(
+        name="table1", models=_MODELS, seeds=_SEEDS,
+        fault_counts=(0,), config=_CONFIG,
+    )
+
+
+def _table2_spec():
+    return CampaignSpec(
+        name="table2", models=_MODELS, seeds=_SEEDS,
+        fault_counts=(0, 2), config=_CONFIG,
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_root(tmp_path_factory):
+    """table1 run cold, then table2 sharing its store root."""
+    root = str(tmp_path_factory.mktemp("campaigns"))
+    first = run_campaign(
+        _table1_spec(), store=os.path.join(root, "table1"),
+        processes=0, dedup_root=root,
+    )
+    second = run_campaign(
+        _table2_spec(), store=os.path.join(root, "table2"),
+        processes=0, dedup_root=root,
+    )
+    return root, first, second
+
+
+def test_shared_cells_execute_zero_simulations(shared_root):
+    _root, first, second = shared_root
+    shared = len(_MODELS) * len(_SEEDS)          # the zero-fault cells
+    assert first.executed == shared
+    assert second.deduped == shared              # all resolved via index
+    assert second.executed == shared             # only the 2-fault cells
+    assert second.cached == 0
+
+
+def test_reused_record_lines_are_byte_identical(shared_root):
+    root, _first, _second = shared_root
+
+    def lines(campaign):
+        path = os.path.join(root, campaign, "results.jsonl")
+        with open(path) as handle:
+            return {
+                json.loads(line)["key"]: line.rstrip("\n")
+                for line in handle if line.strip()
+            }
+
+    table1 = lines("table1")
+    table2 = lines("table2")
+    shared = set(table1) & set(table2)
+    assert len(shared) == len(_MODELS) * len(_SEEDS)
+    for key in shared:
+        assert table1[key] == table2[key]
+
+
+def test_deduped_rows_match_fresh_sequential_run(shared_root):
+    _root, _first, second = shared_root
+    fresh = [run_single(*d.job()) for d in _table2_spec().expand()]
+    assert [r.as_row() for r in second.results] == [
+        r.as_row() for r in fresh
+    ]
+
+
+def test_dedup_never_crosses_differing_payloads(shared_root, tmp_path):
+    """A campaign whose config differs shares no keys — nothing reused."""
+    root, _first, _second = shared_root
+    other = CampaignSpec(
+        name="other", models=_MODELS, seeds=_SEEDS, fault_counts=(0,),
+        config=PlatformConfig.small(horizon_us=100_000,
+                                    fault_time_us=50_000),
+    )
+    report = run_campaign(
+        other, store=os.path.join(root, "other"),
+        processes=0, dedup_root=root,
+    )
+    assert report.deduped == 0
+    assert report.executed == other.size()
+
+
+def test_index_lookups_verify_keys(shared_root):
+    root, _first, _second = shared_root
+    index = StoreIndex(root)
+    index.refresh()
+    for descriptor in _table1_spec().expand():
+        record = index.lookup(descriptor.key())
+        assert record is not None
+        assert record["key"] == descriptor.key()
+    assert index.lookup("not-a-real-key") is None
