@@ -41,4 +41,11 @@ bench-baseline:
 campaign-smoke:
 	$(PYTHON) -m benchmarks.harness --campaign-smoke
 
-.PHONY: test lint coverage bench bench-baseline campaign-smoke
+# Closed-loop self-healing gate: a tiny hysteresis-governed run with a
+# thermal storm must throttle, restore every throttle by the horizon,
+# recover the killed node through the watchdog path exactly once, and
+# repeat bit-identically.
+dynamics-smoke:
+	$(PYTHON) -m benchmarks.harness --dynamics-smoke
+
+.PHONY: test lint coverage bench bench-baseline campaign-smoke dynamics-smoke

@@ -225,6 +225,86 @@ def check_dedup_smoke(smoke):
     return None
 
 
+def run_dynamics_smoke(seed=7):
+    """Closed-loop self-healing gate evidence (platform dynamics).
+
+    One tiny hysteresis-governed run with watchdog recovery enabled: a
+    thermal storm at 50 ms must actuate throttles, every throttle must
+    restore by the horizon, the killed node must come back through the
+    watchdog path (racing — and beating — its scripted recovery), and a
+    repeat of the identical run must be bit-identical on the series,
+    the NoC statistics and the dynamics counters.
+    """
+    from repro.platform.centurion import CenturionPlatform
+    from repro.platform.config import PlatformConfig
+
+    config = PlatformConfig.small(
+        dvfs_governor="hysteresis",
+        watchdog_recovery=True,
+        watchdog_timeout_us=20_000,
+    )
+    scenario = {
+        "name": "dynamics-smoke",
+        "events": [
+            {"kind": "thermal_storm", "at_us": 50_000, "count": 4,
+             "heat_c": 40.0},
+            {"kind": "node", "at_us": 60_000, "count": 1,
+             "duration_us": 100_000},
+        ],
+    }
+
+    def run():
+        platform = CenturionPlatform(config, model_name="ffw", seed=seed)
+        platform.inject_scenario(dict(scenario))
+        series = platform.run()
+        return platform, series
+
+    first, first_series = run()
+    second, second_series = run()
+    restored = all(
+        pe.frequency.current_mhz == pe.frequency.nominal_mhz
+        for pe in first.pes.values()
+    )
+    return {
+        "throttle_events": first.dynamics.throttle_events,
+        "restored": restored,
+        "autonomous_recoveries": first.dynamics.autonomous_recoveries,
+        "recoveries_total": len(first.controller.faults_recovered),
+        "identical": (
+            first_series.as_dict() == second_series.as_dict()
+            and first.network.stats == second.network.stats
+            and first.dynamics.throttle_events
+            == second.dynamics.throttle_events
+            and first.dynamics.autonomous_recoveries
+            == second.dynamics.autonomous_recoveries
+        ),
+    }
+
+
+def check_dynamics_smoke(smoke):
+    """Failure message for a dynamics report, or ``None`` when it passed."""
+    if smoke["throttle_events"] == 0:
+        return "dynamics-smoke: the thermal storm actuated no throttles"
+    if not smoke["restored"]:
+        return (
+            "dynamics-smoke: a node was still throttled at the horizon"
+        )
+    if smoke["autonomous_recoveries"] != 1:
+        return (
+            "dynamics-smoke: expected exactly 1 watchdog recovery, got "
+            "{}".format(smoke["autonomous_recoveries"])
+        )
+    if smoke["recoveries_total"] != 1:
+        return (
+            "dynamics-smoke: node recovered {} times (the watchdog and "
+            "scripted paths must race to exactly one recovery)".format(
+                smoke["recoveries_total"])
+        )
+    if not smoke["identical"]:
+        return "dynamics-smoke: repeated run was not bit-identical"
+    return None
+
+
 # -- perf-gate CLI -----------------------------------------------------------
 
 
@@ -338,12 +418,39 @@ def main(argv=None):
         help="run the cold/resumed campaign store gate "
              "(resumed pass must execute zero simulations)",
     )
+    parser.add_argument(
+        "--dynamics-smoke", action="store_true",
+        help="run the closed-loop self-healing gate (thermal storm must "
+             "throttle and restore, watchdog must win the recovery race, "
+             "repeats must be bit-identical)",
+    )
     args = parser.parse_args(argv)
-    if not args.micro and not args.campaign_smoke:
-        parser.error("nothing to do (pass --micro and/or --campaign-smoke)")
+    if not args.micro and not args.campaign_smoke and not args.dynamics_smoke:
+        parser.error(
+            "nothing to do (pass --micro, --campaign-smoke and/or "
+            "--dynamics-smoke)"
+        )
 
     smoke = None
     dedup = None
+    dynamics = None
+    if args.dynamics_smoke:
+        dynamics = run_dynamics_smoke()
+        print("dynamics smoke (hysteresis governor + watchdog recovery):")
+        print("  {:<36} {}".format(
+            "throttle events", dynamics["throttle_events"]))
+        print("  {:<36} {}".format(
+            "all throttles restored", dynamics["restored"]))
+        print("  {:<36} {} (of {} total)".format(
+            "watchdog recoveries", dynamics["autonomous_recoveries"],
+            dynamics["recoveries_total"]))
+        failure = check_dynamics_smoke(dynamics)
+        if failure is not None:
+            print("\nDYNAMICS SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  storm throttled, recovered and repeated identically — ok")
+        if not args.micro and not args.campaign_smoke:
+            return 0
     if args.campaign_smoke:
         smoke = run_campaign_smoke()
         print("campaign smoke ({} cells, small platform):".format(
@@ -392,6 +499,8 @@ def main(argv=None):
         result["campaign_smoke"] = smoke
     if dedup is not None:
         result["dedup_smoke"] = dedup
+    if dynamics is not None:
+        result["dynamics_smoke"] = dynamics
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

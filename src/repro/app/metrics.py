@@ -17,7 +17,13 @@ records, per window:
   the window's QoS loss is visible even though the NoC counted a
   delivery.  The column is held outside :attr:`MetricsSeries.COLUMNS`
   and exported only when non-zero somewhere, keeping series produced by
-  corruption-free runs byte-identical to earlier releases.
+  corruption-free runs byte-identical to earlier releases;
+* ``throttle_events`` / ``autonomous_recoveries`` / ``deadlock_drops`` —
+  closed-loop dynamics activity in the window (governor throttles
+  actuated, nodes recovered by the watchdog path, packets dropped by the
+  deadlock bound).  Same optional-column treatment as
+  ``corrupted_deliveries``: exported only when non-zero somewhere, so
+  dynamics-free series stay byte-identical.
 """
 
 from repro.sim.process import PeriodicProcess
@@ -36,23 +42,33 @@ class MetricsSeries:
         "alive_nodes",
     )
 
+    #: Post-v1 columns, exported only when non-zero somewhere (see
+    #: :meth:`as_dict`) so series from runs that never exercise the
+    #: corresponding fault/dynamics machinery stay byte-identical.
+    OPTIONAL_COLUMNS = (
+        "corrupted_deliveries",
+        "throttle_events",
+        "autonomous_recoveries",
+        "deadlock_drops",
+    )
+
     def __init__(self, task_ids):
         self.task_ids = tuple(task_ids)
         for column in self.COLUMNS:
             setattr(self, column, [])
         self.census = {tid: [] for tid in self.task_ids}
-        self.corrupted_deliveries = []
+        for column in self.OPTIONAL_COLUMNS:
+            setattr(self, column, [])
 
     def append(self, **values):
         """Append one window's values (census passed as a dict).
 
-        ``corrupted_deliveries`` is optional (defaults to 0) so callers
-        predating the corruption fault kind keep working unchanged.
+        The optional columns default to 0 so callers predating them
+        keep working unchanged.
         """
         census = values.pop("census")
-        self.corrupted_deliveries.append(
-            values.pop("corrupted_deliveries", 0)
-        )
+        for column in self.OPTIONAL_COLUMNS:
+            getattr(self, column).append(values.pop(column, 0))
         for column in self.COLUMNS:
             getattr(self, column).append(values[column])
         for tid in self.task_ids:
@@ -85,14 +101,16 @@ class MetricsSeries:
     def as_dict(self):
         """Plain-dict export (JSON-friendly).
 
-        ``corrupted_deliveries`` joins the export only when a corruption
-        fault actually struck: an all-zero column is omitted so series
-        (and the campaign-store records built from them) from runs
-        without corruption stay byte-identical to earlier releases.
+        An optional column joins the export only when its machinery
+        actually fired: an all-zero column is omitted so series (and
+        the campaign-store records built from them) from runs without
+        corruption or dynamics stay byte-identical to earlier releases.
         """
         data = {column: list(getattr(self, column)) for column in self.COLUMNS}
-        if any(self.corrupted_deliveries):
-            data["corrupted_deliveries"] = list(self.corrupted_deliveries)
+        for column in self.OPTIONAL_COLUMNS:
+            values = getattr(self, column)
+            if any(values):
+                data[column] = list(values)
         data["census"] = {tid: list(v) for tid, v in self.census.items()}
         return data
 
@@ -101,16 +119,20 @@ class MetricsSampler:
     """Periodic sampler over the platform's PEs and workload.
 
     ``network`` is optional: when given, the sampler also tracks the
-    per-window corrupted-delivery count from the network's statistics.
+    per-window corrupted-delivery and deadlock-drop counts from the
+    network's statistics.  ``dynamics`` is optional too: when given,
+    the sampler tracks per-window throttle and autonomous-recovery
+    activity from the platform's dynamics controller.
     """
 
     def __init__(self, sim, pes, directory, workload, window_us=10_000,
-                 network=None):
+                 network=None, dynamics=None):
         self.sim = sim
         self.pes = list(pes)
         self.directory = directory
         self.workload = workload
         self.network = network
+        self.dynamics = dynamics
         self.window_us = window_us
         task_ids = workload.graph.task_ids()
         self.series = MetricsSeries(task_ids)
@@ -118,6 +140,9 @@ class MetricsSampler:
         self._last_joins = 0
         self._last_switches = 0
         self._last_corrupted = 0
+        self._last_throttles = 0
+        self._last_recoveries = 0
+        self._last_deadlock_drops = 0
         self._process = PeriodicProcess(
             sim, window_us, self._sample, priority=sim.PRIORITY_SAMPLE
         )
@@ -156,6 +181,18 @@ class MetricsSampler:
             self.network.stats.get("delivered_corrupted", 0)
             if self.network is not None else 0
         )
+        deadlock_total = (
+            self.network.stats.get("dropped_deadlock", 0)
+            if self.network is not None else 0
+        )
+        throttles_total = (
+            self.dynamics.throttle_events
+            if self.dynamics is not None else 0
+        )
+        recoveries_total = (
+            self.dynamics.autonomous_recoveries
+            if self.dynamics is not None else 0
+        )
         self.series.append(
             time_ms=self.sim.now / 1000.0,
             active_nodes=active,
@@ -165,9 +202,15 @@ class MetricsSampler:
             task_switches=switches_total - self._last_switches,
             alive_nodes=alive,
             corrupted_deliveries=corrupted_total - self._last_corrupted,
+            throttle_events=throttles_total - self._last_throttles,
+            autonomous_recoveries=recoveries_total - self._last_recoveries,
+            deadlock_drops=deadlock_total - self._last_deadlock_drops,
             census=self.directory.task_census(),
         )
         self._last_sink_execs = sink_total
         self._last_joins = joins_total
         self._last_switches = switches_total
         self._last_corrupted = corrupted_total
+        self._last_throttles = throttles_total
+        self._last_recoveries = recoveries_total
+        self._last_deadlock_drops = deadlock_total

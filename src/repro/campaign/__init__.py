@@ -72,12 +72,19 @@ Hash-key stability contract
 A cell key is the SHA-256 of the canonical JSON (sorted keys, no
 whitespace) of ``{schema, model, seed, faults, metric, config}`` where
 ``model`` is the *resolved* registry name (aliases like ``ffw`` hash
-identically to ``foraging_for_work``) and ``config`` is the full
-:class:`~repro.platform.config.PlatformConfig` field dict.  Keys are
-therefore stable across processes, platforms and campaign orderings —
-but *not* across config-schema changes: adding a field to
-``PlatformConfig`` changes every key, which is intended (stale results
-are never reused against a config they did not describe).  Bump
+identically to ``foraging_for_work``) and ``config`` is the
+:meth:`~repro.platform.config.PlatformConfig.canonical` field dict:
+every v1 field always, post-v1 fields (the self-healing dynamics group
+— ``dvfs_governor``, ``governor_hot_c``, ``governor_cool_c``,
+``governor_throttle_mhz``, ``governor_dwell_us``, ``watchdog_recovery``,
+``watchdog_timeout_us``) only when changed from their defaults,
+mirroring the ``FaultEvent`` rule below.  Keys are therefore stable
+across processes, platforms and campaign orderings — and across
+canonical-optional additions: a dynamics-free config hashes exactly as
+it did before the dynamics fields existed, while setting any of them
+mints a distinct key.  Changing a *v1* field's meaning or adding a
+non-optional field still changes every key, which is intended (stale
+results are never reused against a config they did not describe).  Bump
 ``spec.HASH_SCHEMA_VERSION`` to force invalidation by hand.
 ``keep_series`` is deliberately excluded from the key — it changes what
 is recorded, not what is simulated; a cached cell without a series is
@@ -92,9 +99,11 @@ Legacy fault-count cells omit the entry entirely, which keeps every key
 minted before the scenario axis existed valid: old stores keep hitting.
 
 The fault-taxonomy-v2 event kinds (``link_degrade``, ``corrupt``,
-``controller``, hazard-rate storms) join the same contract one level
-down: their fields (``factor``, ``hazard_per_us``, ``horizon_us``)
-enter the scenario's canonical dict *only when set*
+``controller``, hazard-rate storms) and the dynamics kinds
+(``thermal_storm``, ``deadlock_pressure``) join the same contract one
+level down: their fields (``factor``, ``hazard_per_us``,
+``horizon_us``, ``heat_c``, ``wait_limit_us``) enter the scenario's
+canonical dict *only when set*
 (:attr:`~repro.platform.scenario.FaultEvent._CANONICAL_OPTIONAL`), so
 every scenario written before those kinds existed canonicalises — and
 hashes — to the byte-identical payload it always had, while any event

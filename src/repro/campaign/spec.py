@@ -17,7 +17,7 @@ import json
 
 from repro.core.models.registry import resolve_model_name
 from repro.experiments.runner import DEFAULT_METRIC, default_seeds
-from repro.platform.config import PlatformConfig
+from repro.platform.config import GOVERNORS, PlatformConfig
 from repro.platform.scenario import FaultScenario
 
 #: Bump to invalidate every stored result by hand (schema field of the
@@ -57,10 +57,15 @@ class RunDescriptor:
         minted before the scenario axis existed is unchanged — legacy
         stores keep hitting.  Within the scenario entry the same rule
         recurses: fault-taxonomy-v2 event fields (``factor``,
-        ``hazard_per_us``, ``horizon_us``) canonicalise only when set
+        ``hazard_per_us``, ``horizon_us``, ``heat_c``,
+        ``wait_limit_us``) canonicalise only when set
         (:attr:`~repro.platform.scenario.FaultEvent._CANONICAL_OPTIONAL`),
         so pre-v2 scenario cells keep their PR 3 keys byte-for-byte
-        while any event using a v2 kind mints a fresh key.
+        while any event using a v2 kind mints a fresh key.  The config
+        entry follows the same contract through
+        :meth:`~repro.platform.config.PlatformConfig.canonical`: the
+        self-healing dynamics fields join only when changed from their
+        defaults, so dynamics-free cells keep their historic keys.
 
         Because the key covers the *entire* simulation payload, it is
         also the cross-campaign dedup key
@@ -74,7 +79,7 @@ class RunDescriptor:
             "seed": self.seed,
             "faults": self.faults,
             "metric": self.metric,
-            "config": dataclasses.asdict(self.config),
+            "config": self.config.canonical(),
         }
         if self.scenario is not None:
             payload["scenario"] = self.scenario.canonical()
@@ -113,6 +118,10 @@ class CampaignSpec:
     keep_series: bool = False
     #: Declarative fault scenarios swept alongside the fault counts.
     scenarios: tuple = ()
+    #: DVFS governor axis: each entry replays the whole fault axis with
+    #: ``config.dvfs_governor`` overridden.  Empty = sweep the config's
+    #: own governor only (legacy grids, byte-identical expansion).
+    governors: tuple = ()
     #: Rendering hint: how :mod:`repro.campaign.paper` turns the finished
     #: grid back into an artefact ("grid" returns plain rows).
     kind: str = "grid"
@@ -136,6 +145,15 @@ class CampaignSpec:
                 for s in self.scenarios
             ),
         )
+        object.__setattr__(
+            self, "governors", tuple(str(g) for g in self.governors)
+        )
+        for governor in self.governors:
+            if governor not in GOVERNORS:
+                raise ValueError(
+                    "unknown governor {!r} in campaign axis; known: "
+                    "{}".format(governor, GOVERNORS)
+                )
         if not self.name:
             raise ValueError("campaign needs a name")
         if not self.models or not self.seeds:
@@ -149,6 +167,7 @@ class CampaignSpec:
             ("seeds", self.seeds),
             ("fault_counts", self.fault_counts),
             ("scenarios", [s.name for s in self.scenarios]),
+            ("governors", self.governors),
         ):
             if len(set(values)) != len(values):
                 raise ValueError("duplicate entries in {}".format(field))
@@ -177,67 +196,84 @@ class CampaignSpec:
                 )
 
     def expand(self):
-        """The cell grid: model-major, then fault counts, then
-        scenarios, then seeds.
+        """The cell grid: model-major, then governors, then fault
+        counts, then scenarios, then seeds.
 
         The order is stable and documented because it decides *resume*
         order (which cells a partial store already holds); results are
-        per-cell deterministic regardless of execution order.
+        per-cell deterministic regardless of execution order.  An empty
+        governor axis sweeps the spec's own config untouched, so legacy
+        grids expand byte-identically.
         """
+        if self.governors:
+            configs = [
+                self.config.replace(dvfs_governor=governor)
+                for governor in self.governors
+            ]
+        else:
+            configs = [self.config]
         cells = []
         for model in self.models:
-            for faults in self.fault_counts:
-                for seed in self.seeds:
-                    cells.append(
-                        RunDescriptor(
-                            model=model,
-                            seed=seed,
-                            faults=faults,
-                            config=self.config,
-                            metric=self.metric,
-                            keep_series=self.keep_series,
+            for config in configs:
+                for faults in self.fault_counts:
+                    for seed in self.seeds:
+                        cells.append(
+                            RunDescriptor(
+                                model=model,
+                                seed=seed,
+                                faults=faults,
+                                config=config,
+                                metric=self.metric,
+                                keep_series=self.keep_series,
+                            )
                         )
-                    )
-            for scenario in self.scenarios:
-                for seed in self.seeds:
-                    cells.append(
-                        RunDescriptor(
-                            model=model,
-                            seed=seed,
-                            faults=0,
-                            config=self.config,
-                            metric=self.metric,
-                            keep_series=self.keep_series,
-                            scenario=scenario,
+                for scenario in self.scenarios:
+                    for seed in self.seeds:
+                        cells.append(
+                            RunDescriptor(
+                                model=model,
+                                seed=seed,
+                                faults=0,
+                                config=config,
+                                metric=self.metric,
+                                keep_series=self.keep_series,
+                                scenario=scenario,
+                            )
                         )
-                    )
         return cells
 
     def size(self):
         """Number of cells in the grid."""
-        return len(self.models) * len(self.seeds) * (
-            len(self.fault_counts) + len(self.scenarios)
+        return (
+            len(self.models)
+            * (len(self.governors) or 1)
+            * len(self.seeds)
+            * (len(self.fault_counts) + len(self.scenarios))
         )
 
     def to_dict(self):
         """JSON-friendly dict; ``from_dict`` round-trips it.
 
-        The ``scenarios`` entry is omitted when the axis is unused so
-        legacy campaign directories keep byte-identical ``spec.json``
-        provenance.
+        The ``scenarios`` and ``governors`` entries are omitted when
+        their axis is unused, and the config serialises through
+        :meth:`~repro.platform.config.PlatformConfig.canonical` (post-v1
+        fields only when set) — so legacy campaign directories keep
+        byte-identical ``spec.json`` provenance.
         """
         data = {
             "name": self.name,
             "models": list(self.models),
             "seeds": list(self.seeds),
             "fault_counts": list(self.fault_counts),
-            "config": dataclasses.asdict(self.config),
+            "config": self.config.canonical(),
             "metric": self.metric,
             "keep_series": self.keep_series,
             "kind": self.kind,
         }
         if self.scenarios:
             data["scenarios"] = [s.to_dict() for s in self.scenarios]
+        if self.governors:
+            data["governors"] = list(self.governors)
         return data
 
     @classmethod
@@ -293,6 +329,7 @@ class CampaignSpec:
             metric=data.pop("metric", DEFAULT_METRIC),
             keep_series=bool(data.pop("keep_series", False)),
             scenarios=tuple(scenarios),
+            governors=tuple(data.pop("governors", ())),
             kind=data.pop("kind", "grid"),
         )
         if data:

@@ -150,6 +150,10 @@ def decode_result(record):
         noc_stats=dict(record["noc_stats"]),
         total_switches=row["total_switches"],
         scenario=row.get("scenario"),
+        throttle_events=row.get("throttle_events", 0),
+        autonomous_recoveries=row.get("autonomous_recoveries", 0),
+        deadlock_drops=row.get("deadlock_drops", 0),
+        governor=row.get("governor"),
     )
 
 

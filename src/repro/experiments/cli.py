@@ -379,6 +379,7 @@ def cmd_scenario(args):
 
     hazard_rng = Simulator(seed=args.seed).rng.stream(HAZARD_STREAM)
     events = []
+    warnings = []
     for index, event in enumerate(scenario.events):
         if event.is_storm():
             times = event.occurrence_times(hazard_rng)
@@ -388,19 +389,36 @@ def cmd_scenario(args):
         else:
             times = event.occurrence_times()
             shape = "fixed"
+        detail = ""
+        if event.heat_c is not None:
+            detail = " heat_c={}".format(event.heat_c)
+        elif event.wait_limit_us is not None:
+            detail = " wait_limit_us={}".format(event.wait_limit_us)
+            if event.wait_limit_us >= config.deadlock_wait_limit_us:
+                warnings.append(
+                    "event[{}]: wait_limit_us {} >= config deadlock "
+                    "bound {} — the pressure never binds".format(
+                        index, event.wait_limit_us,
+                        config.deadlock_wait_limit_us,
+                    )
+                )
         print(
-            "event[{}]                 kind={} {} occurrences={} "
-            "at={}".format(index, event.kind, shape, len(times),
+            "event[{}]                 kind={}{} {} occurrences={} "
+            "at={}".format(index, event.kind, detail, shape, len(times),
                            times[:8] + ["..."] if len(times) > 8 else times)
         )
         events.append(
             {"kind": event.kind, "occurrences": times,
              "canonical": event.canonical()}
         )
-    _dump_json(
-        args.json,
-        {"name": scenario.name, "key": scenario.key(), "events": events},
-    )
+    for warning in warnings:
+        print("warning: {}".format(warning), file=sys.stderr)
+    dump = {"name": scenario.name, "key": scenario.key(), "events": events}
+    if warnings:
+        # Joins the dump only when present, keeping dynamics-free
+        # lint output byte-identical to earlier releases.
+        dump["warnings"] = warnings
+    _dump_json(args.json, dump)
     return 0
 
 

@@ -39,13 +39,20 @@ class RunResult:
     total_switches: int
     #: Name of the fault scenario driving the run (None = legacy counts).
     scenario: str = None
+    #: Closed-loop dynamics extract (0 / None on dynamics-free runs).
+    throttle_events: int = 0
+    autonomous_recoveries: int = 0
+    deadlock_drops: int = 0
+    governor: str = None
 
     def as_row(self):
         """Flat dict of the scalar fields (CSV/JSON row).
 
-        The ``scenario`` column appears only on scenario-driven runs, so
-        legacy fault-count rows stay byte-identical to earlier releases
-        (stores and downstream CSV diffs included).
+        The ``scenario`` column appears only on scenario-driven runs,
+        and the dynamics columns (``governor``, ``throttle_events``,
+        ``autonomous_recoveries``, ``deadlock_drops``) only when their
+        machinery actually fired — so legacy rows stay byte-identical
+        to earlier releases (stores and downstream CSV diffs included).
         """
         row = {
             "model": self.model,
@@ -59,6 +66,14 @@ class RunResult:
         }
         if self.scenario is not None:
             row["scenario"] = self.scenario
+        if self.governor is not None:
+            row["governor"] = self.governor
+        if self.throttle_events:
+            row["throttle_events"] = self.throttle_events
+        if self.autonomous_recoveries:
+            row["autonomous_recoveries"] = self.autonomous_recoveries
+        if self.deadlock_drops:
+            row["deadlock_drops"] = self.deadlock_drops
         return row
 
 
@@ -135,6 +150,13 @@ def run_single(model_name, seed, faults=0, config=None,
         noc_stats=dict(platform.network.stats),
         total_switches=platform.total_task_switches(),
         scenario=scenario.name if scenario is not None else None,
+        throttle_events=platform.dynamics.throttle_events,
+        autonomous_recoveries=platform.dynamics.autonomous_recoveries,
+        deadlock_drops=platform.network.stats.get("dropped_deadlock", 0),
+        governor=(
+            config.dvfs_governor
+            if config.dvfs_governor != "none" else None
+        ),
     )
 
 

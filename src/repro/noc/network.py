@@ -141,6 +141,11 @@ class Network:
         self.degraded_links = {}
         #: Mesh edges currently corrupting the packets that cross them.
         self.corrupting_links = set()
+        #: Per-node channel-wait override: node id -> wait limit (µs)
+        #: tighter than the config-wide deadlock bound.  Empty on every
+        #: dynamics-free run, which keeps the hot routing path on its
+        #: historic branch (see ``_route_step``).
+        self.deadlock_pressure = {}
         #: Hops executed inline by the express engine (diagnostic only —
         #: deliberately kept out of ``stats`` so fast/slow runs compare
         #: equal on the experiment-facing counters).
@@ -318,6 +323,35 @@ class Network:
     def link_corrupting(self, a, b):
         """True when the mesh edge ``a — b`` currently corrupts packets."""
         return normalize_edge(a, b) in self.corrupting_links
+
+    def set_deadlock_pressure(self, node_id, wait_limit_us):
+        """Tighten the channel-wait bound at one router.
+
+        A packet waiting at ``node_id`` for a busy output channel is
+        dropped (as a deadlock casualty) once its wait exceeds
+        ``wait_limit_us``, even while the config-wide
+        ``deadlock_wait_limit`` would still tolerate it.  Overlap
+        arbitration (tightest active claim governs) lives in the
+        :class:`~repro.platform.faults.FaultInjector`.
+        """
+        if self.deadlock_pressure.get(node_id) == wait_limit_us:
+            return
+        self.deadlock_pressure[node_id] = wait_limit_us
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "deadlock_pressured",
+                node=node_id, wait_limit_us=wait_limit_us,
+            )
+
+    def clear_deadlock_pressure(self, node_id):
+        """Return one router to the config-wide channel-wait bound."""
+        if node_id not in self.deadlock_pressure:
+            return
+        del self.deadlock_pressure[node_id]
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "deadlock_pressure_recovered", node=node_id
+            )
 
     # -- sending ---------------------------------------------------------------------
 
@@ -534,7 +568,15 @@ class Network:
             self._drop(packet, PacketStatus.DROPPED_FAULT, at_node=node)
             return None
         now = self.sim.now
-        if self.deadlock.should_drop(link.busy_until - now):
+        wait = link.busy_until - now
+        # The pressure dict is empty on dynamics-free runs, so the
+        # short-circuit keeps this hot path on its historic branch; the
+        # ``.get(node, wait)`` default makes an un-pressured node's
+        # comparison trivially false.
+        if self.deadlock.should_drop(wait) or (
+            self.deadlock_pressure
+            and wait > self.deadlock_pressure.get(node, wait)
+        ):
             self.deadlock.record_drop(now)
             self._drop(packet, PacketStatus.DROPPED_DEADLOCK, at_node=node)
             return None

@@ -46,7 +46,8 @@ class ProcessingElement:
     """
 
     def __init__(self, sim, node_id, network, app=None, queue_capacity=6,
-                 service_jitter=0.1, overflow_hold_us=750, trace=None):
+                 service_jitter=0.1, overflow_hold_us=750, trace=None,
+                 watchdog_timeout_us=100_000):
         self.sim = sim
         self.node_id = node_id
         self.network = network
@@ -61,7 +62,11 @@ class ProcessingElement:
         self.halted = False
         self.clock_enabled = True
         self.frequency = FrequencyScaler()
-        self.watchdog = Watchdog()
+        self.watchdog = Watchdog(watchdog_timeout_us)
+        # Boot kick: the watchdog window opens when the node comes up,
+        # not at the epoch — a PE built at nonzero sim time must not be
+        # born already expired.
+        self.watchdog.kick(sim.now)
         self.thermal = ThermalModel()
         self._rng = None  # service-jitter stream, created on first draw
         self._genphase_rng = None  # generation-phase stream, ditto
@@ -217,6 +222,9 @@ class ProcessingElement:
         self.queue.clear()
         self.task_id = None
         self._gen_seq = 0
+        # Reboot kick: a freshly-recovered node is healthy *now*; its
+        # pre-fault kick must not leave it instantly expired again.
+        self.watchdog.kick(self.sim.now)
 
     # -- packet input (internal port) ----------------------------------------------------
 

@@ -59,6 +59,37 @@ class ThermalModel:
             busy_us * self.heat_per_busy_us * frequency_ratio ** 2
         )
 
+    def inject_heat(self, now, delta_c):
+        """Add ``delta_c`` °C of exogenous heat at ``now``.
+
+        The thermal-storm injection path: heat that does not come from
+        the node's own activity (a neighbouring hot spot, an ambient
+        excursion).  It decays like any other heat.
+        """
+        if delta_c < 0:
+            raise ValueError("injected heat must be >= 0")
+        self._decay_to(now)
+        self._above_ambient += delta_c
+
+    def cooldown_eta_us(self, now, target_c):
+        """µs from ``now`` until the node cools to ``target_c``.
+
+        Closed form of the RC decay: ``τ·ln(above / target_above)``,
+        rounded up to the integer clock.  Returns 0 when already at or
+        below the target, and ``None`` when the target is at or below
+        ambient (the decay only ever approaches ambient asymptotically).
+        """
+        self._decay_to(now)
+        target_above = target_c - self.ambient_c
+        if target_above <= 0:
+            return None
+        if self._above_ambient <= target_above:
+            return 0
+        return int(math.ceil(
+            self.time_constant_us
+            * math.log(self._above_ambient / target_above)
+        ))
+
     def temperature(self, now):
         """Current temperature in °C at simulation time ``now``."""
         self._decay_to(now)

@@ -28,6 +28,7 @@ from repro.noc.router import RouterConfig
 from repro.noc.topology import MeshTopology
 from repro.platform.config import PlatformConfig
 from repro.platform.controller import ExperimentController
+from repro.platform.dynamics import DynamicsController
 from repro.platform.faults import FaultInjector
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
@@ -49,6 +50,14 @@ DEFAULT_TRACE_CATEGORIES = (
     "packet_corrupted",
     "controller_severed",
     "controller_restored",
+    # Self-healing dynamics: these only fire under an active governor,
+    # watchdog recovery or deadlock pressure — dynamics-free runs record
+    # nothing extra.
+    "node_throttled",
+    "node_restored",
+    "watchdog_recovery",
+    "deadlock_pressured",
+    "deadlock_pressure_recovered",
 )
 
 
@@ -125,6 +134,7 @@ class CenturionPlatform:
                 service_jitter=self.config.service_jitter,
                 overflow_hold_us=self.config.overflow_hold_us,
                 trace=self.trace,
+                watchdog_timeout_us=self.config.watchdog_timeout_us,
             )
             self.pes[node_id] = pe
             self.aims[node_id] = ArtificialIntelligenceModule(
@@ -142,6 +152,10 @@ class CenturionPlatform:
             lambda packet, node_id: pes[node_id].receive(packet)
         )
         self._apply_initial_mapping()
+        # After the mapping so governor observers slot in behind each
+        # node's AIM in a deterministic order; before the sampler so the
+        # metrics layer can watch the dynamics counters.
+        self.dynamics = DynamicsController(self)
         self.sampler = MetricsSampler(
             self.sim,
             self.pes.values(),
@@ -149,6 +163,7 @@ class CenturionPlatform:
             self.workload,
             window_us=self.config.metrics_window_us,
             network=self.network,
+            dynamics=self.dynamics,
         ).start()
         self.controller = ExperimentController(self)
         self.faults = FaultInjector(self)

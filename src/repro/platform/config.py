@@ -9,6 +9,15 @@ times and NoC timings (documented in DESIGN.md).
 
 import dataclasses
 
+from repro.node.dvfs import MAX_FREQUENCY_MHZ, MIN_FREQUENCY_MHZ
+
+#: DVFS governor policies (see :mod:`repro.platform.dynamics`):
+#: ``"none"`` leaves frequencies alone, ``"threshold-throttle"`` throttles
+#: above ``governor_hot_c`` and restores at or below it, ``"hysteresis"``
+#: throttles above ``governor_hot_c`` but restores only at or below
+#: ``governor_cool_c`` and never changes faster than ``governor_dwell_us``.
+GOVERNORS = ("none", "threshold-throttle", "hysteresis")
+
 
 @dataclasses.dataclass(frozen=True)
 class PlatformConfig:
@@ -62,6 +71,18 @@ class PlatformConfig:
     horizon_us: int = 1_000_000
     fault_time_us: int = 500_000
 
+    # -- self-healing dynamics (see repro.platform.dynamics) ----------------
+    # These fields are canonical-optional: `canonical()` omits them at
+    # their defaults, so every campaign key minted before they existed is
+    # conserved byte-for-byte.
+    dvfs_governor: str = "none"
+    governor_hot_c: float = 70.0
+    governor_cool_c: float = 60.0
+    governor_throttle_mhz: int = 50
+    governor_dwell_us: int = 10_000
+    watchdog_recovery: bool = False
+    watchdog_timeout_us: int = 100_000
+
     def __post_init__(self):
         if self.width < 2 or self.height < 1:
             raise ValueError("grid must be at least 2x1")
@@ -75,6 +96,30 @@ class PlatformConfig:
             )
         if self.fault_time_us > self.horizon_us:
             raise ValueError("fault time beyond horizon")
+        if self.dvfs_governor not in GOVERNORS:
+            raise ValueError(
+                "unknown DVFS governor {!r}; known: {}".format(
+                    self.dvfs_governor, GOVERNORS
+                )
+            )
+        if not self.governor_cool_c < self.governor_hot_c:
+            raise ValueError(
+                "governor_cool_c must lie below governor_hot_c"
+            )
+        if not (
+            MIN_FREQUENCY_MHZ
+            <= self.governor_throttle_mhz
+            <= MAX_FREQUENCY_MHZ
+        ):
+            raise ValueError(
+                "governor_throttle_mhz {} outside [{}, {}]".format(
+                    self.governor_throttle_mhz,
+                    MIN_FREQUENCY_MHZ,
+                    MAX_FREQUENCY_MHZ,
+                )
+            )
+        if self.governor_dwell_us < 0:
+            raise ValueError("governor_dwell_us must be >= 0")
         for field in (
             "flit_time_us",
             "generation_period_us",
@@ -82,6 +127,7 @@ class PlatformConfig:
             "ffw_timeout_us",
             "metrics_window_us",
             "horizon_us",
+            "watchdog_timeout_us",
         ):
             if getattr(self, field) <= 0:
                 raise ValueError("{} must be positive".format(field))
@@ -93,6 +139,33 @@ class PlatformConfig:
     def replace(self, **changes):
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+    #: Fields added after the v1 config schema (the self-healing dynamics
+    #: group).  ``canonical()`` emits them only when they deviate from
+    #: their defaults, so a dynamics-free config canonicalises — and
+    #: content-hashes — to the byte-identical payload it always had.
+    _CANONICAL_OPTIONAL = frozenset((
+        "dvfs_governor",
+        "governor_hot_c",
+        "governor_cool_c",
+        "governor_throttle_mhz",
+        "governor_dwell_us",
+        "watchdog_recovery",
+        "watchdog_timeout_us",
+    ))
+
+    def canonical(self):
+        """Config dict for content hashing (campaign cell keys).
+
+        Every v1 field appears whether defaulted or not; post-v1 fields
+        (see :attr:`_CANONICAL_OPTIONAL`) join only when changed from
+        their default, keeping pre-existing campaign keys stable.
+        """
+        data = dataclasses.asdict(self)
+        for name in self._CANONICAL_OPTIONAL:
+            if data[name] == _FIELD_DEFAULTS[name]:
+                del data[name]
+        return data
 
     @classmethod
     def small(cls, **changes):
@@ -121,3 +194,11 @@ class PlatformConfig:
                 "deadline_margin_us": self.ffw_deadline_margin_us,
             }
         return {}
+
+
+#: Field-name -> declared default, used by ``canonical()`` to decide
+#: which canonical-optional fields are at rest.
+_FIELD_DEFAULTS = {
+    field.name: field.default
+    for field in dataclasses.fields(PlatformConfig)
+}

@@ -27,9 +27,12 @@ from repro.noc.topology import normalize_edge
 from repro.platform.scenario import (
     CONTROLLER,
     CORRUPT,
+    DEADLOCK_PRESSURE,
     LINK,
     LINK_DEGRADE,
     NODE,
+    NODE_KINDS,
+    THERMAL_STORM,
     UNIFORM,
     FaultEvent,
 )
@@ -68,6 +71,10 @@ class FaultInjector:
         self.corrupted_victims = []
         #: Controller attach-point indices actually severed, in order.
         self.controller_victims = []
+        #: Node ids actually hit by thermal storms, in order.
+        self.thermal_victims = []
+        #: Node ids actually put under deadlock pressure, in order.
+        self.pressure_victims = []
         #: ``(time_us, kind, victim)`` recovery log.
         self.recovered = []
         #: Scenarios applied through :meth:`apply`.
@@ -87,6 +94,13 @@ class FaultInjector:
         #: remains instead of blindly restoring.
         self._degrade_claims = {}
         self._degrade_seq = 0
+        #: Active deadlock-pressure claims per node:
+        #: ``[(until, seq, wait_limit_us), ...]`` (``until=None`` is
+        #: permanent).  Same arbitration shape as the degrade claims —
+        #: a pressure claim carries a magnitude, and the node must run
+        #: at the *tightest* active limit.
+        self._pressure_claims = {}
+        self._pressure_seq = 0
 
     # -- legacy surface ----------------------------------------------------
 
@@ -138,7 +152,7 @@ class FaultInjector:
             return
         network = self.platform.network
         num_nodes = network.topology.num_nodes
-        if event.kind == NODE:
+        if event.kind in NODE_KINDS:
             for victim in event.victims:
                 if not 0 <= victim < num_nodes:
                     raise ValueError(
@@ -190,6 +204,17 @@ class FaultInjector:
         if kind == NODE:
             victims = self._node_victims(event)
             self._inject_nodes(victims)
+        elif kind == THERMAL_STORM:
+            # Heat impulses decay on their own (no duration, nothing to
+            # recover), so they bypass the outage bookkeeping below.
+            self._inject_heat(event, self._node_victims(event))
+            return
+        elif kind == DEADLOCK_PRESSURE:
+            # Pressure claims carry a magnitude, so like degrades they
+            # use per-node claim arbitration instead of the
+            # presence-only permanent/outage bookkeeping below.
+            self._apply_pressure(event, self._node_victims(event))
+            return
         elif kind == CONTROLLER:
             victims = list(self._controller_victims_for(event))
             self._sever_attaches(victims)
@@ -327,6 +352,88 @@ class FaultInjector:
                 if network.link_degraded(*edge):
                     network.restore_link(*edge)
                     self.recovered.append((now, LINK_DEGRADE, edge))
+
+    def _inject_heat(self, event, victims):
+        """Push one thermal-storm occurrence's heat into its victims.
+
+        Actuation goes through the platform's
+        :class:`~repro.platform.dynamics.DynamicsController`, which
+        heats every victim's thermal model and re-evaluates any active
+        governors — so a storm on a governed platform triggers the
+        closed loop immediately.
+        """
+        dynamics = getattr(self.platform, "dynamics", None)
+        if dynamics is None:
+            return []
+        heated = dynamics.inject_heat(victims, event.heat_c)
+        self.thermal_victims.extend(heated)
+        return heated
+
+    def _apply_pressure(self, event, victims):
+        """Register one occurrence's deadlock-pressure claims.
+
+        Overlapping pressures do not stack: the node runs at the
+        *tightest* (smallest ``wait_limit_us``) currently-active claim.
+        Each claim is kept with its expiry; when a transient claim
+        lapses the survivors are re-evaluated — the node relaxes to the
+        next-tightest active limit, or back to the config-wide
+        ``deadlock_wait_limit_us`` once no claim remains.
+        """
+        sim = self.platform.sim
+        until = (
+            None if event.duration_us is None
+            else sim.now + event.duration_us
+        )
+        claimed = []
+        for node_id in victims:
+            self._pressure_claims.setdefault(node_id, []).append(
+                (until, self._pressure_seq, event.wait_limit_us)
+            )
+            self._pressure_seq += 1
+            self.pressure_victims.append(node_id)
+            self._apply_governing_pressure(node_id)
+            claimed.append(node_id)
+        if until is not None and claimed:
+            sim.schedule_at(
+                until,
+                lambda ns=claimed: self._expire_pressures(ns),
+                priority=sim.PRIORITY_CONTROL,
+            )
+        return claimed
+
+    def _apply_governing_pressure(self, node_id):
+        """Make the node run at its tightest active claim's limit."""
+        network = self.platform.network
+        claims = self._pressure_claims.get(node_id)
+        if not claims:
+            network.clear_deadlock_pressure(node_id)
+            return
+        # Tightest limit governs; newest declaration breaks exact ties.
+        _until, _seq, limit = min(
+            claims, key=lambda claim: (claim[2], -claim[1])
+        )
+        network.set_deadlock_pressure(node_id, limit)
+
+    def _expire_pressures(self, nodes):
+        """Drop lapsed pressure claims and re-arbitrate each node."""
+        now = self.platform.sim.now
+        for node_id in nodes:
+            claims = self._pressure_claims.get(node_id)
+            if not claims:
+                continue
+            live = [
+                claim for claim in claims
+                if claim[0] is None or claim[0] > now
+            ]
+            if len(live) == len(claims):
+                continue  # nothing lapsed yet (e.g. re-claimed later)
+            if live:
+                self._pressure_claims[node_id] = live
+                self._apply_governing_pressure(node_id)
+            else:
+                del self._pressure_claims[node_id]
+                self.platform.network.clear_deadlock_pressure(node_id)
+                self.recovered.append((now, DEADLOCK_PRESSURE, node_id))
 
     def _corrupt_links(self, edges):
         network = self.platform.network
@@ -477,7 +584,7 @@ class FaultInjector:
         return (
             "FaultInjector(scheduled={}, scenarios={}, injected={}, "
             "links={}, degraded={}, corrupted={}, severed={}, "
-            "recovered={})".format(
+            "heated={}, pressured={}, recovered={})".format(
                 self.scheduled,
                 len(self.scenarios),
                 len(self.victims),
@@ -485,6 +592,8 @@ class FaultInjector:
                 len(self.degraded_victims),
                 len(self.corrupted_victims),
                 len(self.controller_victims),
+                len(self.thermal_victims),
+                len(self.pressure_victims),
                 len(self.recovered),
             )
         )

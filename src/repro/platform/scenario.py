@@ -26,7 +26,15 @@ a JSON-loadable composition of :class:`FaultEvent` injections:
 * **hazard-rate storms** — ``hazard_per_us`` + ``horizon_us`` draw the
   occurrence times from the scenario RNG stream (a Poisson process over
   the storm window) instead of a fixed schedule, composable with every
-  kind, pattern and ``duration_us``.
+  kind, pattern and ``duration_us``;
+* **thermal storms** — ``kind="thermal_storm"``: an impulse of
+  exogenous heat (``heat_c`` °C) lands on the victim nodes' thermal
+  models and decays on its own; a configured DVFS governor
+  (:mod:`repro.platform.dynamics`) fights back by throttling;
+* **deadlock pressure** — ``kind="deadlock_pressure"``: the victim
+  routers' deadlock-recovery wait bound tightens to ``wait_limit_us``,
+  so packets queue-waiting there are dropped far sooner — the router's
+  best-effort recovery misfiring under pressure.
 
 The :class:`~repro.platform.faults.FaultInjector` interprets scenarios at
 runtime; campaigns carry them as a first-class axis whose content hash
@@ -38,8 +46,8 @@ Event schema (JSON)
 Every event is a dict; unknown keys are rejected.  Fields:
 
 ``kind``
-    ``"node"`` (default), ``"link"``, ``"link_degrade"``, ``"corrupt"``
-    or ``"controller"``.
+    ``"node"`` (default), ``"link"``, ``"link_degrade"``, ``"corrupt"``,
+    ``"controller"``, ``"thermal_storm"`` or ``"deadlock_pressure"``.
 ``at_us``
     Injection time of the first occurrence (µs, required).  For a
     hazard-rate storm it is the start of the storm window instead.
@@ -54,13 +62,22 @@ Every event is a dict; unknown keys are rejected.  Fields:
 ``factor``
     ``"link_degrade"`` only: multiplier (> 1) applied to the victim
     edge's ``flit_time`` while the degradation holds.
+``heat_c``
+    ``"thermal_storm"`` only: °C of exogenous heat injected into each
+    victim node (an impulse — it decays on its own, so the kind takes
+    no ``duration_us``).
+``wait_limit_us``
+    ``"deadlock_pressure"`` only: tightened deadlock-recovery wait
+    bound (µs) applied to the victim routers while the pressure holds;
+    overlapping pressures run at the *tightest* active limit.
 ``hazard_per_us`` / ``horizon_us``
     Storm mode: occurrence times are drawn from a Poisson process with
     this hazard rate over ``[at_us, horizon_us]`` (from the dedicated
     scenario RNG stream) instead of the fixed ``at_us``/``repeats``
     schedule.  Incompatible with ``repeats``/``period_us``.
 ``pattern`` / ``row`` / ``column`` / ``region`` / ``center`` / ``radius``
-    Victim-selection shape for node events: ``"uniform"`` (default),
+    Victim-selection shape for the node-victim kinds (``node``,
+    ``thermal_storm``, ``deadlock_pressure``): ``"uniform"`` (default),
     ``"row"`` (needs ``row``), ``"column"`` (needs ``column``),
     ``"region"`` (needs ``region = [x0, y0, x1, y1]``, inclusive) or
     ``"neighborhood"`` (needs ``center``; ``radius`` defaults to 1).
@@ -80,10 +97,19 @@ LINK = "link"
 LINK_DEGRADE = "link_degrade"
 CORRUPT = "corrupt"
 CONTROLLER = "controller"
-KINDS = (NODE, LINK, LINK_DEGRADE, CORRUPT, CONTROLLER)
+THERMAL_STORM = "thermal_storm"
+DEADLOCK_PRESSURE = "deadlock_pressure"
+KINDS = (
+    NODE, LINK, LINK_DEGRADE, CORRUPT, CONTROLLER,
+    THERMAL_STORM, DEADLOCK_PRESSURE,
+)
 
 #: Kinds whose victims are mesh edges (``[src, dst]`` endpoint pairs).
 EDGE_KINDS = (LINK, LINK_DEGRADE, CORRUPT)
+
+#: Kinds whose victims are node ids, drawn through the spatial-pattern
+#: machinery (row/column/region/neighbourhood alongside uniform).
+NODE_KINDS = (NODE, THERMAL_STORM, DEADLOCK_PRESSURE)
 
 UNIFORM = "uniform"
 PATTERNS = (UNIFORM, "row", "column", "region", "neighborhood")
@@ -109,6 +135,8 @@ class FaultEvent:
     factor: float = None
     hazard_per_us: float = None
     horizon_us: int = None
+    heat_c: float = None
+    wait_limit_us: int = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -121,7 +149,7 @@ class FaultEvent:
                     self.pattern, PATTERNS
                 )
             )
-        if self.kind != NODE and self.pattern != UNIFORM:
+        if self.kind not in NODE_KINDS and self.pattern != UNIFORM:
             raise ValueError(
                 "{} events support only uniform draws or pinned "
                 "victims".format(self.kind)
@@ -136,6 +164,33 @@ class FaultEvent:
         elif self.factor is not None:
             raise ValueError(
                 "'factor' only applies to link_degrade events"
+            )
+        if self.kind == THERMAL_STORM:
+            if self.heat_c is None:
+                raise ValueError("thermal_storm events need a 'heat_c'")
+            if not self.heat_c > 0:
+                raise ValueError(
+                    "heat_c must be positive (degrees injected)"
+                )
+            if self.duration_us is not None:
+                raise ValueError(
+                    "thermal storms are impulses — injected heat decays "
+                    "on its own, so 'duration_us' does not apply"
+                )
+        elif self.heat_c is not None:
+            raise ValueError(
+                "'heat_c' only applies to thermal_storm events"
+            )
+        if self.kind == DEADLOCK_PRESSURE:
+            if self.wait_limit_us is None:
+                raise ValueError(
+                    "deadlock_pressure events need a 'wait_limit_us'"
+                )
+            if not self.wait_limit_us > 0:
+                raise ValueError("wait_limit_us must be positive")
+        elif self.wait_limit_us is not None:
+            raise ValueError(
+                "'wait_limit_us' only applies to deadlock_pressure events"
             )
         if self.victims is not None:
             if self.pattern != UNIFORM:
@@ -297,7 +352,8 @@ class FaultEvent:
     #: content hash and every store key derived from it) is byte-for-byte
     #: what it was before these fields existed.
     _CANONICAL_OPTIONAL = frozenset(
-        ("factor", "hazard_per_us", "horizon_us")
+        ("factor", "hazard_per_us", "horizon_us", "heat_c",
+         "wait_limit_us")
     )
 
     def canonical(self):

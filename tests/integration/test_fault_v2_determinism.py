@@ -13,7 +13,6 @@ links, controller attach-point failures, hazard-rate storms):
   hand-rolled replicas of the PR 3 canonicalisation and key recipes.
 """
 
-import dataclasses
 import hashlib
 import json
 
@@ -147,6 +146,28 @@ def _v1_canonical_event(**fields):
     return data
 
 
+#: The exact config-field set PR 3 keys hashed (every pre-dynamics
+#: ``PlatformConfig`` field).  If this list ever needs a new entry to
+#: make the replica test pass, a post-v1 field has leaked into
+#: canonical dicts and every stored key has been silently invalidated.
+V1_CONFIG_FIELDS = (
+    "width", "height", "flit_time_us", "wire_latency_us",
+    "router_latency_us", "packet_flits", "deadlock_wait_limit_us",
+    "max_reroutes", "recent_queue_depth", "routing_mode", "fast_path",
+    "queue_capacity", "service_jitter", "overflow_hold_us", "fork_width",
+    "generation_period_us", "source_service_us", "branch_service_us",
+    "sink_service_us", "packet_deadline_us", "multicast_fork",
+    "aim_tick_us", "ni_threshold", "ffw_timeout_us",
+    "ffw_deadline_margin_us", "initial_mapping", "metrics_window_us",
+    "horizon_us", "fault_time_us",
+)
+
+
+def _v1_config_dict(config):
+    """The PR 3 config-payload recipe, replicated by hand."""
+    return {name: getattr(config, name) for name in V1_CONFIG_FIELDS}
+
+
 V1_SCENARIO = FaultScenario(
     name="pre-v2",
     events=(
@@ -191,7 +212,7 @@ def test_v1_scenario_cell_key_replicates_pr3_recipe():
         "seed": 7,
         "faults": 0,
         "metric": "joins",
-        "config": dataclasses.asdict(_CONFIG),
+        "config": _v1_config_dict(_CONFIG),
         "scenario": V1_SCENARIO.canonical(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

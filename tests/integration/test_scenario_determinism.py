@@ -183,11 +183,15 @@ def test_scenario_cells_hash_apart_from_legacy_cells():
 
 def test_legacy_key_payload_unchanged_by_scenario_field():
     """The pre-scenario key recipe reproduces today's legacy keys."""
-    import dataclasses
     import hashlib
     import json
 
     from repro.campaign.spec import HASH_SCHEMA_VERSION
+
+    # Hand-rolled replica of the pre-dynamics config payload (the exact
+    # field set PR 3 keys hashed); the canonical-optional dynamics
+    # fields must stay absent at their defaults.
+    from tests.integration.test_fault_v2_determinism import _v1_config_dict
 
     descriptor = RunDescriptor("ffw", 7, 3, _CONFIG)
     payload = {
@@ -196,7 +200,7 @@ def test_legacy_key_payload_unchanged_by_scenario_field():
         "seed": 7,
         "faults": 3,
         "metric": "joins",
-        "config": dataclasses.asdict(_CONFIG),
+        "config": _v1_config_dict(_CONFIG),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     assert descriptor.key() == hashlib.sha256(

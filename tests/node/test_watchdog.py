@@ -3,6 +3,10 @@
 import pytest
 
 from repro.node.watchdog import Watchdog
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology
+from repro.node.processor import ProcessingElement
+from repro.sim.engine import Simulator
 
 
 def test_fresh_watchdog_not_expired():
@@ -40,3 +44,57 @@ def test_check_and_count_increments_only_when_expired():
 def test_invalid_timeout_rejected():
     with pytest.raises(ValueError):
         Watchdog(timeout_us=0)
+
+
+# -- processing-element integration pins ------------------------------------
+
+
+def _pe(sim, node=0, **kwargs):
+    network = Network(sim, topology=MeshTopology(2, 2))
+    return ProcessingElement(sim, node, network, **kwargs)
+
+
+def test_pe_boot_kicks_watchdog_at_construction_time():
+    """A PE built at nonzero sim time must not be born already expired.
+
+    The watchdog window opens when the node comes up — without the boot
+    kick, ``last_kick`` stays at the epoch and any node constructed (or
+    checked) later than the timeout reads as dead on arrival.
+    """
+    sim = Simulator(seed=0)
+    sim.run_until(50_000)
+    pe = _pe(sim, watchdog_timeout_us=10_000)
+    assert pe.watchdog.last_kick == 50_000
+    assert not pe.watchdog.expired(60_000)
+    assert pe.watchdog.expired(60_001)
+
+
+def test_idle_pe_expires_after_boot_plus_timeout():
+    """An idle node's watchdog expires exactly one timeout after boot."""
+    sim = Simulator(seed=0)
+    pe = _pe(sim, watchdog_timeout_us=10_000)
+    assert not pe.watchdog.expired(10_000)
+    assert pe.watchdog.expired(10_001)
+
+
+def test_pe_restart_kicks_watchdog():
+    """A freshly-recovered node reads healthy, not instantly expired.
+
+    Without the restart kick, a node that sat halted for longer than
+    its timeout comes back with a stale ``last_kick`` and the watchdog
+    observation path would immediately re-fire on a live node.
+    """
+    sim = Simulator(seed=0)
+    pe = _pe(sim, watchdog_timeout_us=10_000)
+    pe.halt()
+    sim.run_until(40_000)
+    pe.restart()
+    assert pe.watchdog.last_kick == 40_000
+    assert not pe.watchdog.expired(50_000)
+    assert pe.watchdog.kicks == 2  # boot + restart
+
+
+def test_pe_watchdog_timeout_is_configurable():
+    sim = Simulator(seed=0)
+    pe = _pe(sim, watchdog_timeout_us=123)
+    assert pe.watchdog.timeout_us == 123

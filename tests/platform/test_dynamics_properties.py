@@ -1,0 +1,97 @@
+"""Property-based tests for the physical models behind the dynamics seam.
+
+Hypothesis layers over the thermal RC model, the frequency scaler, and
+the hysteresis governor: invariants that must hold for *any* input, not
+just the handful of operating points the unit tests pin.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.node.dvfs import (
+    FrequencyScaler,
+    MAX_FREQUENCY_MHZ,
+    MIN_FREQUENCY_MHZ,
+)
+from repro.node.thermal import ThermalModel
+from repro.platform.dynamics import HysteresisGovernor
+
+times = st.integers(min_value=0, max_value=10_000_000)
+heats = st.floats(
+    min_value=0.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+temperatures = st.floats(
+    min_value=-40.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(heat=heats, t1=times, t2=times)
+def test_thermal_decay_is_monotone_toward_ambient(heat, t1, t2):
+    """With no new heat, a later read is never hotter — and never cools
+    past ambient."""
+    model = ThermalModel()
+    model.inject_heat(0, heat)
+    early, late = sorted((t1, t2))
+    temp_early = model.temperature(early)
+    temp_late = model.temperature(late)
+    assert temp_late <= temp_early
+    assert temp_late >= model.ambient_c
+
+
+@given(
+    events=st.lists(
+        st.tuples(times, st.integers(min_value=0, max_value=100_000), heats),
+        max_size=20,
+    ),
+    probe=times,
+)
+def test_thermal_never_reads_below_ambient(events, probe):
+    """No sequence of busy work and injected heat can read sub-ambient."""
+    model = ThermalModel()
+    for now, busy_us, heat in sorted(events):
+        model.record_busy(now, busy_us)
+        model.inject_heat(now, heat)
+    assert model.temperature(probe) >= model.ambient_c
+
+
+@given(
+    f1=st.integers(min_value=MIN_FREQUENCY_MHZ, max_value=MAX_FREQUENCY_MHZ),
+    f2=st.integers(min_value=MIN_FREQUENCY_MHZ, max_value=MAX_FREQUENCY_MHZ),
+    duration=st.integers(min_value=0, max_value=10_000_000),
+)
+def test_scale_duration_monotone_in_frequency(f1, f2, duration):
+    """A slower clock never shortens a task, and every scaled duration
+    stays on the integer clock at >= 1 µs."""
+    slow, fast = sorted((f1, f2))
+    scaler = FrequencyScaler()
+    scaler.set_frequency(fast)
+    at_fast = scaler.scale_duration(duration)
+    scaler.set_frequency(slow)
+    at_slow = scaler.scale_duration(duration)
+    assert at_slow >= at_fast >= 1
+    assert isinstance(at_slow, int) and isinstance(at_fast, int)
+
+
+@settings(max_examples=200)
+@given(
+    dwell=st.integers(min_value=1, max_value=100_000),
+    readings=st.lists(st.tuples(times, temperatures), min_size=1, max_size=50),
+)
+def test_hysteresis_never_actuates_faster_than_dwell(dwell, readings):
+    """However the temperature thrashes, consecutive governor actuations
+    are always at least ``dwell_us`` apart."""
+    gov = HysteresisGovernor(
+        hot_c=70.0, cool_c=60.0, throttle_mhz=50, dwell_us=dwell
+    )
+    throttled = False
+    change_times = []
+    for now, temp in sorted(readings):
+        action = gov.decide(now, temp, throttled)
+        if action == "throttle":
+            throttled = True
+            change_times.append(now)
+        elif action == "restore":
+            throttled = False
+            change_times.append(now)
+    for earlier, later in zip(change_times, change_times[1:]):
+        assert later - earlier >= dwell

@@ -52,12 +52,16 @@ def repeat_fields(draw):
     }
 
 
+#: Kinds whose victims are node ids (and which accept spatial patterns).
+NODE_VICTIM_KINDS = ("node", "thermal_storm", "deadlock_pressure")
+
+
 @st.composite
 def events(draw):
     at_us = draw(times)
     kind = draw(st.sampled_from(KINDS))
     fields = {"at_us": at_us, "kind": kind}
-    if kind == "node" and draw(st.booleans()):
+    if kind in NODE_VICTIM_KINDS and draw(st.booleans()):
         pattern = draw(st.sampled_from(("row", "column", "neighborhood")))
         fields["pattern"] = pattern
         if pattern == "row":
@@ -72,7 +76,7 @@ def events(draw):
         fields["count"] = draw(counts)
     else:
         # Pinned victims: node ids, edge pairs or attach indices.
-        if kind == "node":
+        if kind in NODE_VICTIM_KINDS:
             pins = draw(
                 st.lists(
                     st.integers(min_value=0, max_value=127),
@@ -99,7 +103,21 @@ def events(draw):
                 allow_nan=False, allow_infinity=False,
             )
         )
-    fields["duration_us"] = draw(durations)
+    elif kind == "thermal_storm":
+        fields["heat_c"] = draw(
+            st.floats(
+                min_value=0.5, max_value=80.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+    elif kind == "deadlock_pressure":
+        fields["wait_limit_us"] = draw(
+            st.integers(min_value=1, max_value=10**5)
+        )
+    if kind != "thermal_storm":
+        # Heat impulses decay on their own: the schema forbids a
+        # duration on thermal storms.
+        fields["duration_us"] = draw(durations)
     extra = draw(repeat_fields())
     if "horizon_us" in extra:
         extra["horizon_us"] += at_us + 1
