@@ -48,4 +48,17 @@ campaign-smoke:
 dynamics-smoke:
 	$(PYTHON) -m benchmarks.harness --dynamics-smoke
 
-.PHONY: test lint coverage bench bench-baseline campaign-smoke dynamics-smoke
+# Declarative-workload gate: a burst workload must run and repeat
+# bit-identically, the builtin fork_join spec must reproduce the legacy
+# application exactly, workload-free cell keys must replicate the
+# pre-workload hash recipe, and the capacity lint must flag an arrival
+# rate the platform cannot sustain.
+workload-smoke:
+	$(PYTHON) -m benchmarks.harness --workload-smoke
+
+# Run every examples/*.py script; fail on any non-zero exit.
+examples-smoke:
+	$(PYTHON) -m benchmarks.harness --examples-smoke
+
+.PHONY: test lint coverage bench bench-baseline campaign-smoke \
+	dynamics-smoke workload-smoke examples-smoke

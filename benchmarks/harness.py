@@ -33,6 +33,17 @@ hold:
   executed shared cells) with rows bit-identical to the first
   campaign's.
 
+Workload / examples smoke gates
+-------------------------------
+``--workload-smoke`` (``make workload-smoke``) gates the declarative
+workload subsystem: a burst-driven workload runs and repeats
+bit-identically, the builtin ``fork_join`` spec reproduces the legacy
+application's row and series exactly, workload-free cell keys replicate
+the pre-workload hash recipe, and the capacity lint flags an arrival
+rate the platform cannot sustain.  ``--examples-smoke``
+(``make examples-smoke``) executes every ``examples/*.py`` script and
+fails on a non-zero exit.
+
 Combined with ``--micro``, the numbers join the printed report and the
 baseline record.
 """
@@ -305,6 +316,167 @@ def check_dynamics_smoke(smoke):
     return None
 
 
+#: The burst workload driven by the workload smoke gate.
+WORKLOAD_SMOKE_SPEC = {
+    "name": "smoke-burst",
+    "tasks": [
+        {"id": 1, "service_us": 500,
+         "arrival": {"period_us": 4_000, "shape": "burst",
+                     "burst_ticks": 4, "idle_ticks": 4},
+         "downstream": [{"task": 2, "fanout": 3}]},
+        {"id": 2, "service_us": 9_000, "weight": 3, "downstream": [3]},
+        {"id": 3, "service_us": 2_000, "join": True},
+    ],
+}
+
+
+def run_workload_smoke(seed=7):
+    """Declarative-workload gate evidence (PR 7).
+
+    Four legs: a burst-driven workload must run and repeat
+    bit-identically; the builtin ``fork_join`` spec must reproduce the
+    legacy application's row and series bit-identically; a cell without
+    a workload must keep its pre-workload content key (the ``workload``
+    entry joins the payload only when present); and the capacity lint
+    must flag an arrival rate the platform cannot sustain.
+    """
+    import hashlib
+
+    from repro.app.workloads import (
+        capacity_report, compile_workload, fork_join_spec,
+    )
+    from repro.campaign.spec import HASH_SCHEMA_VERSION, RunDescriptor
+    from repro.experiments.runner import run_single
+    from repro.platform.config import PlatformConfig
+
+    config = PlatformConfig.small(horizon_us=120_000, fault_time_us=60_000)
+
+    def run(workload=None):
+        return run_single(
+            "ffw", seed=seed, faults=2, config=config, keep_series=True,
+            workload=workload,
+        )
+
+    first, second = run(WORKLOAD_SMOKE_SPEC), run(WORKLOAD_SMOKE_SPEC)
+    burst_identical = (
+        first.as_row() == second.as_row()
+        and first.series.as_dict() == second.series.as_dict()
+        and first.app_stats == second.app_stats
+    )
+
+    legacy, via_spec = run(), run(fork_join_spec())
+    legacy_row, spec_row = legacy.as_row(), via_spec.as_row()
+    spec_row.pop("workload", None)
+    fork_join_identical = (
+        legacy_row == spec_row
+        and legacy.series.as_dict() == via_spec.series.as_dict()
+    )
+
+    base = RunDescriptor("ffw", seed, 2, config)
+    payload = {
+        "schema": HASH_SCHEMA_VERSION,
+        "model": "foraging_for_work",
+        "seed": seed,
+        "faults": 2,
+        "metric": "joins",
+        "config": config.canonical(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    keys_conserved = (
+        base.key() == hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        and RunDescriptor(
+            "ffw", seed, 2, config, workload=fork_join_spec()
+        ).key() != base.key()
+    )
+
+    hot = compile_workload({
+        "name": "over-capacity",
+        "tasks": [
+            {"id": 1, "service_us": 100, "arrival": 500,
+             "downstream": [2]},
+            {"id": 2, "service_us": 40_000},
+        ],
+    })
+    _rows, warnings = capacity_report(
+        hot, num_nodes=config.width * config.height
+    )
+    lint_flags = any("over capacity" in w for w in warnings)
+
+    return {
+        "burst_joins": first.app_stats["joins"],
+        "burst_identical": burst_identical,
+        "fork_join_identical": fork_join_identical,
+        "keys_conserved": keys_conserved,
+        "lint_flags_over_capacity": lint_flags,
+    }
+
+
+def check_workload_smoke(smoke):
+    """Failure message for a workload report, or ``None`` when it passed."""
+    if smoke["burst_joins"] <= 0:
+        return "workload-smoke: the burst workload completed no joins"
+    if not smoke["burst_identical"]:
+        return "workload-smoke: repeated burst run was not bit-identical"
+    if not smoke["fork_join_identical"]:
+        return (
+            "workload-smoke: the fork_join spec diverged from the legacy "
+            "application"
+        )
+    if not smoke["keys_conserved"]:
+        return (
+            "workload-smoke: workload-free cell keys are not conserved "
+            "(or a workload failed to mint a fresh key)"
+        )
+    if not smoke["lint_flags_over_capacity"]:
+        return (
+            "workload-smoke: the capacity lint missed an over-capacity "
+            "arrival rate"
+        )
+    return None
+
+
+def run_examples_smoke():
+    """Execute every ``examples/*.py`` script; returns name -> exit code.
+
+    The examples are living documentation that CI never imported before;
+    a renamed API breaking one shows up here instead of in a user's
+    terminal.
+    """
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    examples_dir = os.path.join(REPO_ROOT, "examples")
+    codes = {}
+    for name in sorted(os.listdir(examples_dir)):
+        if not name.endswith(".py"):
+            continue
+        proc = subprocess.run(
+            [sys.executable, os.path.join(examples_dir, name)],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        )
+        codes[name] = proc.returncode
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr.decode("utf-8", "replace"))
+    return codes
+
+
+def check_examples_smoke(codes):
+    """Failure message for an examples report, or ``None`` when passed."""
+    if not codes:
+        return "examples-smoke: no example scripts found"
+    failed = sorted(name for name, code in codes.items() if code != 0)
+    if failed:
+        return "examples-smoke: {} exited non-zero".format(
+            ", ".join(failed)
+        )
+    return None
+
+
 # -- perf-gate CLI -----------------------------------------------------------
 
 
@@ -424,16 +596,34 @@ def main(argv=None):
              "throttle and restore, watchdog must win the recovery race, "
              "repeats must be bit-identical)",
     )
+    parser.add_argument(
+        "--workload-smoke", action="store_true",
+        help="run the declarative-workload gate (burst runs repeat "
+             "bit-identically, fork_join spec matches the legacy app, "
+             "workload-free keys conserved, capacity lint flags "
+             "over-capacity arrivals)",
+    )
+    parser.add_argument(
+        "--examples-smoke", action="store_true",
+        help="execute every examples/*.py script and fail on non-zero "
+             "exits",
+    )
     args = parser.parse_args(argv)
-    if not args.micro and not args.campaign_smoke and not args.dynamics_smoke:
+    requested = (
+        args.micro, args.campaign_smoke, args.dynamics_smoke,
+        args.workload_smoke, args.examples_smoke,
+    )
+    if not any(requested):
         parser.error(
-            "nothing to do (pass --micro, --campaign-smoke and/or "
-            "--dynamics-smoke)"
+            "nothing to do (pass --micro, --campaign-smoke, "
+            "--dynamics-smoke, --workload-smoke and/or --examples-smoke)"
         )
 
     smoke = None
     dedup = None
     dynamics = None
+    workload = None
+    examples = None
     if args.dynamics_smoke:
         dynamics = run_dynamics_smoke()
         print("dynamics smoke (hysteresis governor + watchdog recovery):")
@@ -449,6 +639,38 @@ def main(argv=None):
             print("\nDYNAMICS SMOKE FAILED: {}".format(failure))
             return 2
         print("  storm throttled, recovered and repeated identically — ok")
+        if not any((args.micro, args.campaign_smoke, args.workload_smoke,
+                    args.examples_smoke)):
+            return 0
+    if args.workload_smoke:
+        workload = run_workload_smoke()
+        print("workload smoke (burst workload + fork_join spec parity):")
+        print("  {:<36} {}".format("burst joins", workload["burst_joins"]))
+        print("  {:<36} {}".format(
+            "burst repeats identical", workload["burst_identical"]))
+        print("  {:<36} {}".format(
+            "fork_join spec == legacy", workload["fork_join_identical"]))
+        print("  {:<36} {}".format(
+            "workload-free keys conserved", workload["keys_conserved"]))
+        print("  {:<36} {}".format(
+            "lint flags over-capacity", workload["lint_flags_over_capacity"]))
+        failure = check_workload_smoke(workload)
+        if failure is not None:
+            print("\nWORKLOAD SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  declarative workloads deterministic and conserved — ok")
+        if not any((args.micro, args.campaign_smoke, args.examples_smoke)):
+            return 0
+    if args.examples_smoke:
+        examples = run_examples_smoke()
+        print("examples smoke ({} scripts):".format(len(examples)))
+        for name in sorted(examples):
+            print("  {:<36} exit {}".format(name, examples[name]))
+        failure = check_examples_smoke(examples)
+        if failure is not None:
+            print("\nEXAMPLES SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  every example ran clean — ok")
         if not args.micro and not args.campaign_smoke:
             return 0
     if args.campaign_smoke:
@@ -501,6 +723,10 @@ def main(argv=None):
         result["dedup_smoke"] = dedup
     if dynamics is not None:
         result["dynamics_smoke"] = dynamics
+    if workload is not None:
+        result["workload_smoke"] = workload
+    if examples is not None:
+        result["examples_smoke"] = examples
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

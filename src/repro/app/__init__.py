@@ -14,12 +14,22 @@ from repro.app.mapping import (
 from repro.app.metrics import MetricsSampler, MetricsSeries
 from repro.app.taskgraph import Task, TaskGraph, fork_join_graph
 from repro.app.workload import ForkJoinWorkload
+from repro.app.workloads import (
+    GraphWorkload,
+    Workload,
+    WorkloadSpec,
+    load_workload,
+)
 
 __all__ = [
     "Task",
     "TaskGraph",
     "fork_join_graph",
     "ForkJoinWorkload",
+    "GraphWorkload",
+    "Workload",
+    "WorkloadSpec",
+    "load_workload",
     "MetricsSampler",
     "MetricsSeries",
     "random_mapping",

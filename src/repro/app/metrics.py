@@ -23,7 +23,11 @@ records, per window:
   actuated, nodes recovered by the watchdog path, packets dropped by the
   deadlock bound).  Same optional-column treatment as
   ``corrupted_deliveries``: exported only when non-zero somewhere, so
-  dynamics-free series stay byte-identical.
+  dynamics-free series stay byte-identical;
+* ``task_executions`` — per-task execution counts per window, tracked
+  only for workloads that opt in (``per_task_series`` on a declarative
+  :class:`~repro.app.workloads.WorkloadSpec`) and exported per task only
+  when non-zero somewhere — legacy series never grow the entry.
 """
 
 from repro.sim.process import PeriodicProcess
@@ -57,22 +61,26 @@ class MetricsSeries:
         for column in self.COLUMNS:
             setattr(self, column, [])
         self.census = {tid: [] for tid in self.task_ids}
+        self.task_executions = {tid: [] for tid in self.task_ids}
         for column in self.OPTIONAL_COLUMNS:
             setattr(self, column, [])
 
     def append(self, **values):
         """Append one window's values (census passed as a dict).
 
-        The optional columns default to 0 so callers predating them
-        keep working unchanged.
+        The optional columns — and the optional per-task
+        ``task_executions`` dict — default to 0 so callers predating
+        them keep working unchanged.
         """
         census = values.pop("census")
+        per_task = values.pop("task_executions", None) or {}
         for column in self.OPTIONAL_COLUMNS:
             getattr(self, column).append(values.pop(column, 0))
         for column in self.COLUMNS:
             getattr(self, column).append(values[column])
         for tid in self.task_ids:
             self.census[tid].append(census.get(tid, 0))
+            self.task_executions[tid].append(per_task.get(tid, 0))
 
     def __len__(self):
         return len(self.time_ms)
@@ -111,6 +119,13 @@ class MetricsSeries:
             values = getattr(self, column)
             if any(values):
                 data[column] = list(values)
+        tracked = {
+            tid: list(v)
+            for tid, v in self.task_executions.items()
+            if any(v)
+        }
+        if tracked:
+            data["task_executions"] = tracked
         data["census"] = {tid: list(v) for tid, v in self.census.items()}
         return data
 
@@ -139,6 +154,7 @@ class MetricsSampler:
         self._last_sink_execs = 0
         self._last_joins = 0
         self._last_switches = 0
+        self._last_task_execs = {}
         self._last_corrupted = 0
         self._last_throttles = 0
         self._last_recoveries = 0
@@ -193,6 +209,14 @@ class MetricsSampler:
             self.dynamics.autonomous_recoveries
             if self.dynamics is not None else 0
         )
+        per_task = None
+        if getattr(self.workload, "per_task_series", False):
+            totals = self.workload.executions_by_task
+            per_task = {
+                tid: totals.get(tid, 0) - self._last_task_execs.get(tid, 0)
+                for tid in self.series.task_ids
+            }
+            self._last_task_execs = dict(totals)
         self.series.append(
             time_ms=self.sim.now / 1000.0,
             active_nodes=active,
@@ -205,6 +229,7 @@ class MetricsSampler:
             throttle_events=throttles_total - self._last_throttles,
             autonomous_recoveries=recoveries_total - self._last_recoveries,
             deadlock_drops=deadlock_total - self._last_deadlock_drops,
+            task_executions=per_task,
             census=self.directory.task_census(),
         )
         self._last_sink_execs = sink_total

@@ -15,9 +15,10 @@ branches of one instance of the Figure 3 graph.
 
 from repro.noc.packet import Packet
 from repro.app.taskgraph import TASK_SINK
+from repro.app.workloads.protocol import Workload
 
 
-class ForkJoinWorkload:
+class ForkJoinWorkload(Workload):
     """Application hooks + join bookkeeping for a fork-join task graph.
 
     Parameters

@@ -1,0 +1,109 @@
+"""Mapping-strategy registry and recovery-remap policies.
+
+The three legacy mapping functions in :mod:`repro.app.mapping` have two
+different signatures (``clustered_mapping`` wants the topology, the
+other two want node ids). The registry normalises them behind one
+policy shape::
+
+    policy(topology, weights, rng, workload=None) -> {node_id: task_id}
+
+so strategies are drop-in interchangeable, selected by
+``PlatformConfig.initial_mapping``. Two policies go beyond the static
+legacy trio:
+
+``load_aware``
+    Balances the *steady-state compute demand* of the compiled workload
+    (packet rate x service time per task, from
+    :meth:`~repro.app.workloads.compiler.CompiledWorkload.demand_weights`)
+    instead of the static ratio weights — a burst-heavy branch task gets
+    the nodes its traffic actually needs. Falls back to the static
+    weights for the legacy application, which carries no rate model.
+
+``fault-aware`` recovery remap (``PlatformConfig.recovery_remap``)
+    Hooked on the dynamics seam: when a node recovers (scripted or
+    watchdog-driven) and comes back blank, it is assigned the task with
+    the largest census deficit against its weight-proportional target —
+    closing the loop between the fault engine and the mapping layer
+    instead of leaving repair entirely to the intelligence models.
+"""
+
+from repro.app.mapping import (
+    balanced_mapping,
+    clustered_mapping,
+    random_mapping,
+)
+
+
+def _random(topology, weights, rng, workload=None):
+    return random_mapping(topology.node_ids(), weights, rng)
+
+
+def _balanced(topology, weights, rng, workload=None):
+    return balanced_mapping(topology.node_ids(), weights, rng)
+
+
+def _clustered(topology, weights, rng, workload=None):
+    return clustered_mapping(topology, weights, rng)
+
+
+def _load_aware(topology, weights, rng, workload=None):
+    demand = None
+    if workload is not None:
+        getter = getattr(workload, "demand_weights", None)
+        if getter is not None:
+            demand = getter()
+    if not demand or not any(demand.values()):
+        demand = weights
+    return balanced_mapping(topology.node_ids(), demand, rng)
+
+
+MAPPING_POLICIES = {
+    "random": _random,
+    "balanced": _balanced,
+    "clustered": _clustered,
+    "load_aware": _load_aware,
+}
+
+#: Recovery-remap modes for ``PlatformConfig.recovery_remap``.
+RECOVERY_REMAPS = ("none", "fault-aware")
+
+
+def mapping_policy(name):
+    """Look up a mapping policy by name (ValueError on unknown)."""
+    try:
+        return MAPPING_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown mapping policy {!r} (known: {})".format(
+                name, ", ".join(sorted(MAPPING_POLICIES))
+            )
+        ) from None
+
+
+def apply_mapping(name, topology, weights, rng, workload=None):
+    """Run the named policy with the normalised signature."""
+    return mapping_policy(name)(topology, weights, rng, workload=workload)
+
+
+def remap_for_recovery(platform, node_id):
+    """Pick the task a just-recovered blank node should adopt.
+
+    The fault-aware policy: compare the healthy census against each
+    task's weight-proportional share of the currently alive nodes and
+    return the task with the largest deficit (ties to the smallest task
+    id — deterministic, no RNG draw). Returns ``None`` when the graph
+    carries no weight.
+    """
+    weights = platform.workload.graph.weights()
+    total = sum(weights.values())
+    if total <= 0:
+        return None
+    census = platform.network.directory.task_census()
+    alive = sum(1 for pe in platform.pes.values() if not pe.halted)
+    best_task, best_deficit = None, None
+    for task_id in sorted(weights):
+        target = alive * weights[task_id] / total
+        deficit = target - census.get(task_id, 0)
+        if best_deficit is None or deficit > best_deficit:
+            best_task, best_deficit = task_id, deficit
+    return best_task

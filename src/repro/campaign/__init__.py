@@ -108,6 +108,19 @@ canonical dict *only when set*
 every scenario written before those kinds existed canonicalises — and
 hashes — to the byte-identical payload it always had, while any event
 that does use a v2 field mints a distinct key.
+
+Workload cells (the ``workloads:`` axis) extend the payload with a
+``workload`` entry: the
+:meth:`~repro.app.workloads.WorkloadSpec.canonical` form of the
+declarative spec driving the cell — schema version, name, every task's
+explicit v1 fields (service, weight, deadline, edges with fanout, join
+flag, arrival shape) — so any change to the task graph or its arrival
+curves mints a new key.  Cells running the legacy fork-join application
+omit the entry entirely, conserving every pre-workload key byte for
+byte; within the entry the canonical-optional rule recurses once more
+(``per_task_series`` on the spec, ``service_dist``/``service_spread``
+per task join only when set), so specs written before those fields
+existed keep their keys too.
 """
 
 from repro.campaign.executor import CampaignReport, run_campaign, shard_of

@@ -15,6 +15,7 @@ import dataclasses
 import hashlib
 import json
 
+from repro.app.workloads import WorkloadSpec, load_workload
 from repro.core.models.registry import resolve_model_name
 from repro.experiments.runner import DEFAULT_METRIC, default_seeds
 from repro.platform.config import GOVERNORS, PlatformConfig
@@ -39,16 +40,22 @@ class RunDescriptor:
     metric: str = DEFAULT_METRIC
     keep_series: bool = False
     scenario: FaultScenario = None
+    workload: WorkloadSpec = None
 
     def cell(self):
         """The human-facing cell coordinates.
 
         ``(model, seed, faults)`` for legacy count cells,
-        ``(model, seed, scenario name)`` for scenario cells.
+        ``(model, seed, scenario name)`` for scenario cells; cells
+        driven by a declarative workload append its name.
         """
         if self.scenario is not None:
-            return (self.model, self.seed, self.scenario.name)
-        return (self.model, self.seed, self.faults)
+            base = (self.model, self.seed, self.scenario.name)
+        else:
+            base = (self.model, self.seed, self.faults)
+        if self.workload is not None:
+            return base + (self.workload.name,)
+        return base
 
     def key(self):
         """Stable SHA-256 content hash identifying this simulation.
@@ -65,7 +72,12 @@ class RunDescriptor:
         entry follows the same contract through
         :meth:`~repro.platform.config.PlatformConfig.canonical`: the
         self-healing dynamics fields join only when changed from their
-        defaults, so dynamics-free cells keep their historic keys.
+        defaults, so dynamics-free cells keep their historic keys.  The
+        ``workload`` entry extends the contract the same way: it joins
+        the payload (as
+        :meth:`~repro.app.workloads.WorkloadSpec.canonical`) only when a
+        declarative workload drives the cell, so every pre-workload key
+        is conserved.
 
         Because the key covers the *entire* simulation payload, it is
         also the cross-campaign dedup key
@@ -83,6 +95,8 @@ class RunDescriptor:
         }
         if self.scenario is not None:
             payload["scenario"] = self.scenario.canonical()
+        if self.workload is not None:
+            payload["workload"] = self.workload.canonical()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -96,6 +110,7 @@ class RunDescriptor:
             self.metric,
             self.keep_series,
             self.scenario,
+            self.workload,
         )
 
 
@@ -122,6 +137,13 @@ class CampaignSpec:
     #: ``config.dvfs_governor`` overridden.  Empty = sweep the config's
     #: own governor only (legacy grids, byte-identical expansion).
     governors: tuple = ()
+    #: Declarative workload axis: each entry replays the whole fault
+    #: axis under that application (a WorkloadSpec, dict, built-in name
+    #: or JSON path — anything
+    #: :func:`~repro.app.workloads.load_workload` accepts).  Empty =
+    #: sweep the legacy fork-join application (byte-identical
+    #: expansion).
+    workloads: tuple = ()
     #: Rendering hint: how :mod:`repro.campaign.paper` turns the finished
     #: grid back into an artefact ("grid" returns plain rows).
     kind: str = "grid"
@@ -148,6 +170,11 @@ class CampaignSpec:
         object.__setattr__(
             self, "governors", tuple(str(g) for g in self.governors)
         )
+        object.__setattr__(
+            self,
+            "workloads",
+            tuple(load_workload(w) for w in self.workloads),
+        )
         for governor in self.governors:
             if governor not in GOVERNORS:
                 raise ValueError(
@@ -168,6 +195,7 @@ class CampaignSpec:
             ("fault_counts", self.fault_counts),
             ("scenarios", [s.name for s in self.scenarios]),
             ("governors", self.governors),
+            ("workloads", [w.name for w in self.workloads]),
         ):
             if len(set(values)) != len(values):
                 raise ValueError("duplicate entries in {}".format(field))
@@ -196,14 +224,15 @@ class CampaignSpec:
                 )
 
     def expand(self):
-        """The cell grid: model-major, then governors, then fault
-        counts, then scenarios, then seeds.
+        """The cell grid: model-major, then governors, then workloads,
+        then fault counts, then scenarios, then seeds.
 
         The order is stable and documented because it decides *resume*
         order (which cells a partial store already holds); results are
         per-cell deterministic regardless of execution order.  An empty
-        governor axis sweeps the spec's own config untouched, so legacy
-        grids expand byte-identically.
+        governor (or workload) axis sweeps the spec's own config (or the
+        legacy application) untouched, so legacy grids expand
+        byte-identically.
         """
         if self.governors:
             configs = [
@@ -215,31 +244,34 @@ class CampaignSpec:
         cells = []
         for model in self.models:
             for config in configs:
-                for faults in self.fault_counts:
-                    for seed in self.seeds:
-                        cells.append(
-                            RunDescriptor(
-                                model=model,
-                                seed=seed,
-                                faults=faults,
-                                config=config,
-                                metric=self.metric,
-                                keep_series=self.keep_series,
+                for workload in (self.workloads or (None,)):
+                    for faults in self.fault_counts:
+                        for seed in self.seeds:
+                            cells.append(
+                                RunDescriptor(
+                                    model=model,
+                                    seed=seed,
+                                    faults=faults,
+                                    config=config,
+                                    metric=self.metric,
+                                    keep_series=self.keep_series,
+                                    workload=workload,
+                                )
                             )
-                        )
-                for scenario in self.scenarios:
-                    for seed in self.seeds:
-                        cells.append(
-                            RunDescriptor(
-                                model=model,
-                                seed=seed,
-                                faults=0,
-                                config=config,
-                                metric=self.metric,
-                                keep_series=self.keep_series,
-                                scenario=scenario,
+                    for scenario in self.scenarios:
+                        for seed in self.seeds:
+                            cells.append(
+                                RunDescriptor(
+                                    model=model,
+                                    seed=seed,
+                                    faults=0,
+                                    config=config,
+                                    metric=self.metric,
+                                    keep_series=self.keep_series,
+                                    scenario=scenario,
+                                    workload=workload,
+                                )
                             )
-                        )
         return cells
 
     def size(self):
@@ -247,6 +279,7 @@ class CampaignSpec:
         return (
             len(self.models)
             * (len(self.governors) or 1)
+            * (len(self.workloads) or 1)
             * len(self.seeds)
             * (len(self.fault_counts) + len(self.scenarios))
         )
@@ -254,8 +287,9 @@ class CampaignSpec:
     def to_dict(self):
         """JSON-friendly dict; ``from_dict`` round-trips it.
 
-        The ``scenarios`` and ``governors`` entries are omitted when
-        their axis is unused, and the config serialises through
+        The ``scenarios``, ``governors`` and ``workloads`` entries are
+        omitted when their axis is unused, and the config serialises
+        through
         :meth:`~repro.platform.config.PlatformConfig.canonical` (post-v1
         fields only when set) — so legacy campaign directories keep
         byte-identical ``spec.json`` provenance.
@@ -274,6 +308,8 @@ class CampaignSpec:
             data["scenarios"] = [s.to_dict() for s in self.scenarios]
         if self.governors:
             data["governors"] = list(self.governors)
+        if self.workloads:
+            data["workloads"] = [w.to_dict() for w in self.workloads]
         return data
 
     @classmethod
@@ -330,6 +366,7 @@ class CampaignSpec:
             keep_series=bool(data.pop("keep_series", False)),
             scenarios=tuple(scenarios),
             governors=tuple(data.pop("governors", ())),
+            workloads=tuple(data.pop("workloads", ())),
             kind=data.pop("kind", "grid"),
         )
         if data:

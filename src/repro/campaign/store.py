@@ -76,12 +76,16 @@ class StoredSeries:
 
     def __init__(self, data):
         self._data = {
-            key: value for key, value in data.items() if key != "census"
+            key: value for key, value in data.items()
+            if key not in ("census", "task_executions")
         }
         for key, value in self._data.items():
             setattr(self, key, value)
         self.census = _int_keys(data.get("census", {}))
         self.task_ids = tuple(sorted(self.census))
+        # Per-task execution columns (present only on workloads that
+        # opted in via ``per_task_series``) are int-keyed like census.
+        self.task_executions = _int_keys(data.get("task_executions", {}))
 
     def __len__(self):
         return len(getattr(self, "time_ms", ()))
@@ -89,6 +93,10 @@ class StoredSeries:
     def as_dict(self):
         """Plain-dict export, mirroring ``MetricsSeries.as_dict``."""
         data = dict(self._data)
+        if self.task_executions:
+            data["task_executions"] = {
+                tid: list(v) for tid, v in self.task_executions.items()
+            }
         data["census"] = {tid: list(v) for tid, v in self.census.items()}
         return data
 
@@ -154,6 +162,7 @@ def decode_result(record):
         autonomous_recoveries=row.get("autonomous_recoveries", 0),
         deadlock_drops=row.get("deadlock_drops", 0),
         governor=row.get("governor"),
+        workload=row.get("workload"),
     )
 
 

@@ -4,7 +4,9 @@ Usage (after ``pip install -e .``):
 
     python -m repro.experiments.cli run --model ffw --seed 7 --faults 42
     python -m repro.experiments.cli run --model ni --scenario waves.json
+    python -m repro.experiments.cli run --model ffw --workload shuffle.json
     python -m repro.experiments.cli scenario storm.json --small
+    python -m repro.experiments.cli workload burst.json --small
     python -m repro.experiments.cli table1 --runs 20 --processes 8
     python -m repro.experiments.cli table2 --runs 20 --faults 0,8,32 --resume
     python -m repro.experiments.cli figure4 --seed 42
@@ -100,6 +102,11 @@ def build_parser():
              "(link failures, transients, waves, spatial patterns); "
              "replaces --faults",
     )
+    run_p.add_argument(
+        "--workload", metavar="FILE",
+        help="JSON WorkloadSpec (or builtin name: fork_join, pipeline3, "
+             "shuffle2x2) replacing the legacy fork-join application",
+    )
     run_p.add_argument("--small", action="store_true",
                        help="4x4 grid instead of full Centurion")
     run_p.add_argument(
@@ -137,6 +144,18 @@ def build_parser():
     s_p.add_argument("--seed", type=int, default=1,
                      help="seed used to preview hazard-storm draws")
     s_p.add_argument("--json", metavar="FILE")
+
+    w_p = sub.add_parser(
+        "workload",
+        help="validate a JSON workload spec and print its graph + "
+             "capacity preview",
+    )
+    w_p.add_argument("file", metavar="FILE",
+                     help="workload JSON file (or builtin name)")
+    w_p.add_argument("--small", action="store_true",
+                     help="preview capacity against the 4x4 grid instead "
+                          "of full Centurion")
+    w_p.add_argument("--json", metavar="FILE")
 
     c_p = sub.add_parser(
         "campaign", help="run a declarative sweep with a persistent store"
@@ -302,9 +321,14 @@ def cmd_run(args):
         if args.faults:
             raise SystemExit("give either --faults or --scenario, not both")
         scenario = FaultScenario.from_json_file(args.scenario)
+    workload = None
+    if args.workload:
+        from repro.app.workloads import load_workload
+
+        workload = load_workload(args.workload)
     result = run_single(
         args.model, seed=args.seed, faults=args.faults, config=config,
-        scenario=scenario,
+        scenario=scenario, workload=workload,
     )
     row = result.as_row()
     for key, value in row.items():
@@ -417,6 +441,58 @@ def cmd_scenario(args):
     if warnings:
         # Joins the dump only when present, keeping dynamics-free
         # lint output byte-identical to earlier releases.
+        dump["warnings"] = warnings
+    _dump_json(args.json, dump)
+    return 0
+
+
+def cmd_workload(args):
+    """``workload`` subcommand: lint a workload spec without running it.
+
+    Loads the file (schema validation), compiles the task graph (branch
+    bases, join widths, cycle/fan-in validation) and prints the graph
+    summary plus a steady-state capacity preview against the chosen
+    platform size — flagging tasks whose arrival demand exceeds the node
+    share their mapping weight buys.  Also prints the content-hash key
+    that would join campaign cell keys.
+    """
+    from repro.app.workloads import (
+        capacity_report, compile_workload, load_workload,
+    )
+
+    spec = load_workload(args.file)
+    compiled = compile_workload(spec)
+    config = PlatformConfig.small() if args.small else PlatformConfig()
+    num_nodes = config.width * config.height
+    print("name                     {}".format(spec.name))
+    print("key                      {}".format(spec.key()))
+    print("tasks                    {}".format(len(spec.tasks)))
+    print("sources                  {}".format(spec.source_ids()))
+    print("joins                    {}".format(spec.join_ids()))
+    print("sinks                    {}".format(list(compiled.sink_ids)))
+    print("multicast                {}".format(spec.multicast))
+    rows, warnings = capacity_report(compiled, num_nodes)
+    print("capacity ({} nodes):".format(num_nodes))
+    for row in rows:
+        print(
+            "  task[{}] {:<16} rate={:.3f}/ms service={}us "
+            "demand={:.2f} share={:.2f} util={:.2f} peak={:.2f}".format(
+                row["task"], row["name"], row["rate_per_ms"],
+                row["service_us"], row["demand_nodes"], row["share_nodes"],
+                row["utilization"], row["peak_utilization"],
+            )
+        )
+    for warning in warnings:
+        print("warning: {}".format(warning), file=sys.stderr)
+    dump = {
+        "name": spec.name,
+        "key": spec.key(),
+        "spec": spec.to_dict(),
+        "capacity": rows,
+    }
+    if warnings:
+        # Joins the dump only when present, keeping clean-spec lint
+        # output free of an empty warnings stanza.
         dump["warnings"] = warnings
     _dump_json(args.json, dump)
     return 0
@@ -550,6 +626,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "figure4": cmd_figure4,
     "scenario": cmd_scenario,
+    "workload": cmd_workload,
     "campaign": cmd_campaign,
     "campaign-ls": cmd_campaign_ls,
     "campaign-gc": cmd_campaign_gc,

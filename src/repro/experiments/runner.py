@@ -44,12 +44,16 @@ class RunResult:
     autonomous_recoveries: int = 0
     deadlock_drops: int = 0
     governor: str = None
+    #: Name of the declarative workload driving the run (None = the
+    #: legacy fork-join application built from the config).
+    workload: str = None
 
     def as_row(self):
         """Flat dict of the scalar fields (CSV/JSON row).
 
         The ``scenario`` column appears only on scenario-driven runs,
-        and the dynamics columns (``governor``, ``throttle_events``,
+        ``workload`` only on declarative-workload runs, and the dynamics
+        columns (``governor``, ``throttle_events``,
         ``autonomous_recoveries``, ``deadlock_drops``) only when their
         machinery actually fired — so legacy rows stay byte-identical
         to earlier releases (stores and downstream CSV diffs included).
@@ -66,6 +70,8 @@ class RunResult:
         }
         if self.scenario is not None:
             row["scenario"] = self.scenario
+        if self.workload is not None:
+            row["workload"] = self.workload
         if self.governor is not None:
             row["governor"] = self.governor
         if self.throttle_events:
@@ -78,7 +84,8 @@ class RunResult:
 
 
 def run_single(model_name, seed, faults=0, config=None,
-               metric=DEFAULT_METRIC, keep_series=True, scenario=None):
+               metric=DEFAULT_METRIC, keep_series=True, scenario=None,
+               workload=None):
     """One full experiment run.
 
     Settling is measured from t=0 up to the fault time (or to the horizon
@@ -92,9 +99,16 @@ def run_single(model_name, seed, faults=0, config=None,
     *first* injection.  A boundary leaving no measurable post-fault
     window (a fault at the exact run horizon) degrades gracefully: the
     recovery fields mirror the settled state, like a zero-fault run.
+
+    ``workload`` (a :class:`~repro.app.workloads.WorkloadSpec`, dict,
+    built-in name, or JSON file path) replaces the legacy fork-join
+    application with a declarative task graph; leaving it ``None``
+    keeps the pre-workload platform byte-identical.
     """
     config = config if config is not None else PlatformConfig()
-    platform = CenturionPlatform(config, model_name=model_name, seed=seed)
+    platform = CenturionPlatform(
+        config, model_name=model_name, seed=seed, workload=workload
+    )
     boundary_us = None
     if scenario is not None:
         if faults:
@@ -156,6 +170,10 @@ def run_single(model_name, seed, faults=0, config=None,
         governor=(
             config.dvfs_governor
             if config.dvfs_governor != "none" else None
+        ),
+        workload=(
+            platform.workload_spec.name
+            if platform.workload_spec is not None else None
         ),
     )
 

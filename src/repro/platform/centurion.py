@@ -12,14 +12,14 @@ library:
 >>> platform.run()  # doctest: +SKIP
 """
 
-from repro.app.mapping import (
-    balanced_mapping,
-    clustered_mapping,
-    random_mapping,
-)
 from repro.app.metrics import MetricsSampler
 from repro.app.taskgraph import fork_join_graph
 from repro.app.workload import ForkJoinWorkload
+from repro.app.workloads import (
+    GraphWorkload,
+    apply_mapping,
+    compile_workload,
+)
 from repro.core.aim import AimTickBank, ArtificialIntelligenceModule
 from repro.core.models.registry import create_model, resolve_model_name
 from repro.node.processor import ProcessingElement
@@ -80,10 +80,19 @@ class CenturionPlatform:
         Optional overrides merged over ``config.model_params``.
     trace_categories:
         Which trace categories to record (``None`` = all, ``()`` = none).
+    workload:
+        Optional declarative workload — a
+        :class:`~repro.app.workloads.WorkloadSpec` (or anything its
+        :func:`~repro.app.workloads.load_workload` accepts: dict,
+        built-in name, JSON file path). When absent the platform builds
+        the legacy Figure 3 fork-join application from the config's
+        task-graph fields, byte-identical to every pre-workload run.
+        The spec's ``packet_flits``/``multicast`` override the config's.
     """
 
     def __init__(self, config=None, model_name="none", seed=0,
-                 model_params=None, trace_categories=DEFAULT_TRACE_CATEGORIES):
+                 model_params=None, trace_categories=DEFAULT_TRACE_CATEGORIES,
+                 workload=None):
         self.config = config if config is not None else PlatformConfig()
         self.model_name = resolve_model_name(model_name)
         self.seed = seed
@@ -105,20 +114,27 @@ class CenturionPlatform:
             fast_path=self.config.fast_path,
             trace=self.trace,
         )
-        self.graph = fork_join_graph(
-            fork_width=self.config.fork_width,
-            generation_period_us=self.config.generation_period_us,
-            source_service_us=self.config.source_service_us,
-            branch_service_us=self.config.branch_service_us,
-            sink_service_us=self.config.sink_service_us,
-            deadline_us=self.config.packet_deadline_us,
-        )
-        self.workload = ForkJoinWorkload(
-            self.sim,
-            self.graph,
-            packet_flits=self.config.packet_flits,
-            multicast=self.config.multicast_fork,
-        )
+        if workload is None:
+            self.workload_spec = None
+            self.graph = fork_join_graph(
+                fork_width=self.config.fork_width,
+                generation_period_us=self.config.generation_period_us,
+                source_service_us=self.config.source_service_us,
+                branch_service_us=self.config.branch_service_us,
+                sink_service_us=self.config.sink_service_us,
+                deadline_us=self.config.packet_deadline_us,
+            )
+            self.workload = ForkJoinWorkload(
+                self.sim,
+                self.graph,
+                packet_flits=self.config.packet_flits,
+                multicast=self.config.multicast_fork,
+            )
+        else:
+            compiled = compile_workload(workload)
+            self.workload_spec = compiled.spec
+            self.graph = compiled.graph
+            self.workload = GraphWorkload(self.sim, compiled)
         self.pes = {}
         self.aims = {}
         # All AIMs tick in lockstep, so they share one periodic event
@@ -187,12 +203,10 @@ class CenturionPlatform:
         rng = self.sim.rng.stream("initial-mapping")
         weights = self.graph.weights()
         topology = self.network.topology
-        if self.config.initial_mapping == "random":
-            mapping = random_mapping(topology.node_ids(), weights, rng)
-        elif self.config.initial_mapping == "balanced":
-            mapping = balanced_mapping(topology.node_ids(), weights, rng)
-        else:
-            mapping = clustered_mapping(topology, weights, rng)
+        mapping = apply_mapping(
+            self.config.initial_mapping, topology, weights, rng,
+            workload=self.workload,
+        )
         for node_id, task_id in mapping.items():
             self.pes[node_id].set_task(task_id, reason="init")
         self.initial_mapping = mapping

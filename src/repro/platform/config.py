@@ -9,6 +9,7 @@ times and NoC timings (documented in DESIGN.md).
 
 import dataclasses
 
+from repro.app.workloads.policies import MAPPING_POLICIES, RECOVERY_REMAPS
 from repro.node.dvfs import MAX_FREQUENCY_MHZ, MIN_FREQUENCY_MHZ
 
 #: DVFS governor policies (see :mod:`repro.platform.dynamics`):
@@ -82,13 +83,27 @@ class PlatformConfig:
     governor_dwell_us: int = 10_000
     watchdog_recovery: bool = False
     watchdog_timeout_us: int = 100_000
+    #: Fault-aware remap on recovery (canonical-optional, like the
+    #: dynamics group): ``"fault-aware"`` assigns a recovered blank node
+    #: the task with the largest census deficit against its
+    #: weight-proportional target (see repro.app.workloads.policies).
+    recovery_remap: str = "none"
 
     def __post_init__(self):
         if self.width < 2 or self.height < 1:
             raise ValueError("grid must be at least 2x1")
-        if self.initial_mapping not in ("random", "balanced", "clustered"):
+        if self.initial_mapping not in MAPPING_POLICIES:
             raise ValueError(
-                "unknown initial mapping {!r}".format(self.initial_mapping)
+                "unknown initial mapping {!r}; known: {}".format(
+                    self.initial_mapping,
+                    ", ".join(sorted(MAPPING_POLICIES)),
+                )
+            )
+        if self.recovery_remap not in RECOVERY_REMAPS:
+            raise ValueError(
+                "unknown recovery remap {!r}; known: {}".format(
+                    self.recovery_remap, RECOVERY_REMAPS
+                )
             )
         if self.routing_mode not in ("xy", "adaptive"):
             raise ValueError(
@@ -152,6 +167,7 @@ class PlatformConfig:
         "governor_dwell_us",
         "watchdog_recovery",
         "watchdog_timeout_us",
+        "recovery_remap",
     ))
 
     def canonical(self):

@@ -152,10 +152,13 @@ class DynamicsController:
         config = platform.config
         self.governor_name = config.dvfs_governor
         self.watchdog_recovery = config.watchdog_recovery
+        self.recovery_remap = config.recovery_remap
         #: Throttle transitions actuated across all nodes.
         self.throttle_events = 0
         #: Nodes recovered by the watchdog path (not scripted recovery).
         self.autonomous_recoveries = 0
+        #: Recovered blank nodes re-tasked by the fault-aware remap.
+        self.recovery_remaps = 0
         #: Per-node governor instances (empty with governor "none").
         self.governors = {}
         self._throttled = set()
@@ -281,7 +284,15 @@ class DynamicsController:
         with no cool-check armed (its pending check no-ops on a halted
         node).  Clearing the pending due time also turns any stale
         scheduled check into a no-op.
+
+        With ``recovery_remap="fault-aware"`` the rebooted node — which
+        comes back blank — is first assigned the task with the largest
+        census deficit (see
+        :func:`repro.app.workloads.policies.remap_for_recovery`), so
+        repair does not wait on the intelligence models.
         """
+        if self.recovery_remap != "none":
+            self._remap_recovered(node_id)
         if not self.governors:
             return
         if node_id in self._throttled:
@@ -289,6 +300,19 @@ class DynamicsController:
             pe.frequency.set_frequency(pe.frequency.nominal_mhz)
             self._throttled.discard(node_id)
         self._next_check.pop(node_id, None)
+
+    def _remap_recovered(self, node_id):
+        """Fault-aware remap actuation: re-task a recovered blank node."""
+        from repro.app.workloads.policies import remap_for_recovery
+
+        pe = self.platform.pes[node_id]
+        if pe.halted or pe.task_id is not None:
+            return
+        task_id = remap_for_recovery(self.platform, node_id)
+        if task_id is None:
+            return
+        pe.set_task(task_id, reason="recovery-remap")
+        self.recovery_remaps += 1
 
     def note_node_killed(self, node_id):
         """Fault-injection hook: arm a watchdog check for a killed node.

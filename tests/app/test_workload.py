@@ -146,6 +146,51 @@ class TestJoin:
         assert workload.pending_join_count == 1
 
 
+class TestMulticast:
+    """Behaviour of the SS V multicast generation mode, and its parity
+    with the declarative ``fork_join`` spec's ``multicast`` field."""
+
+    @pytest.fixture
+    def multicast(self):
+        sim = Simulator(seed=0)
+        return ForkJoinWorkload(sim, fork_join_graph(), multicast=True)
+
+    def test_generation_period_stretched_by_fork_width(self, multicast):
+        assert multicast.generation_period(TASK_SOURCE) == 3 * 4_000
+
+    def test_source_emits_whole_instance_per_tick(self, multicast):
+        pe = FakePE(7, TASK_SOURCE)
+        packets = multicast.packets_for_generation(pe)
+        assert [(p.instance, p.branch) for p in packets] == [
+            ((7, 0), 0), ((7, 0), 1), ((7, 0), 2),
+        ]
+        assert all(p.dest_task == TASK_BRANCH for p in packets)
+        pe._gen_seq = 1
+        packets = multicast.packets_for_generation(pe)
+        assert all(p.instance == (7, 1) for p in packets)
+
+    def test_spec_multicast_field_matches_legacy_emission(self, multicast):
+        from repro.app.workloads import GraphWorkload, fork_join_spec
+
+        graph = GraphWorkload(
+            Simulator(seed=0), fork_join_spec(multicast=True)
+        )
+        assert graph.generation_period(TASK_SOURCE) \
+            == multicast.generation_period(TASK_SOURCE)
+        legacy = multicast.packets_for_generation(FakePE(7, TASK_SOURCE))
+        spec = graph.packets_for_generation(FakePE(7, TASK_SOURCE))
+        assert [
+            (p.dest_task, p.instance, p.branch, p.deadline) for p in legacy
+        ] == [
+            (p.dest_task, p.instance, p.branch, p.deadline) for p in spec
+        ]
+
+    def test_multicast_off_by_default(self, workload):
+        assert workload.multicast is False
+        assert len(workload.packets_for_generation(FakePE(7, TASK_SOURCE))) \
+            == 1
+
+
 class TestStats:
     def test_stats_snapshot(self, workload):
         pe = FakePE(7, TASK_SOURCE)

@@ -1,0 +1,194 @@
+"""Property tests (hypothesis) for the declarative workload schema.
+
+Mirrors the fault-scenario properties: the guarantees a workload author
+relies on without reading the implementation:
+
+* serialisation is lossless — ``to_dict`` → JSON → ``from_dict`` is the
+  identity, and canonical form / content key survive the round trip;
+* the content key hashes *content*, not representation — reordering the
+  keys of the JSON dicts cannot change it;
+* malformed tasks and arrivals are rejected at construction, not when a
+  platform first runs the spec;
+* the arrival curve is a probability — ``rate_at`` stays within
+  ``[0, 1]`` for every shape at every time, and ``mean_rate`` with it.
+"""
+
+import json
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.app.workloads.arrivals import ARRIVAL_SHAPES, ArrivalSpec
+from repro.app.workloads.spec import TaskSpec, WorkloadSpec
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+periods = st.integers(min_value=1, max_value=100_000)
+services = st.integers(min_value=1, max_value=50_000)
+
+
+@st.composite
+def arrivals(draw):
+    shape = draw(st.sampled_from(ARRIVAL_SHAPES))
+    fields = {"period_us": draw(periods)}
+    if shape == "burst":
+        fields["shape"] = shape
+        fields["burst_ticks"] = draw(st.integers(min_value=1, max_value=64))
+        fields["idle_ticks"] = draw(st.integers(min_value=1, max_value=64))
+    elif shape == "diurnal":
+        fields["shape"] = shape
+        fields["cycle_us"] = draw(
+            st.integers(min_value=2, max_value=10**6)
+        )
+        if draw(st.booleans()):
+            fields["floor"] = draw(
+                st.floats(
+                    min_value=0.0, max_value=0.99,
+                    allow_nan=False, allow_infinity=False,
+                )
+            )
+    return ArrivalSpec(**fields)
+
+
+@st.composite
+def task_lists(draw):
+    """A valid task set: unique ids, edges to known ids, >= 1 source."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=99),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    tasks = []
+    for index, task_id in enumerate(ids):
+        fields = {"task_id": task_id, "service_us": draw(services)}
+        if draw(st.booleans()):
+            fields["name"] = draw(st.text(min_size=1, max_size=12))
+        if draw(st.booleans()):
+            fields["weight"] = draw(st.integers(min_value=1, max_value=8))
+        if draw(st.booleans()):
+            fields["deadline_us"] = draw(
+                st.none() | st.integers(min_value=1, max_value=10**6)
+            )
+        dests = draw(
+            st.lists(
+                st.sampled_from(ids), max_size=3, unique=True,
+            )
+        )
+        fields["downstream"] = tuple(
+            {"task": dest, "fanout": draw(
+                st.integers(min_value=1, max_value=4)
+            )}
+            for dest in dests
+        )
+        # The first task is always a source so the spec validates; the
+        # rest coin-flip between source, join and pass-through.
+        role = 0 if index == 0 else draw(st.integers(0, 2))
+        if role == 0:
+            fields["arrival"] = draw(arrivals())
+        elif role == 1:
+            fields["join"] = True
+        elif draw(st.booleans()):
+            dist = draw(st.sampled_from(("uniform", "exponential")))
+            fields["service_dist"] = dist
+            if dist == "uniform":
+                fields["service_spread"] = draw(
+                    st.floats(
+                        min_value=0.01, max_value=1.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                )
+        tasks.append(TaskSpec(**fields))
+    return tuple(tasks)
+
+
+specs = st.builds(
+    WorkloadSpec,
+    name=st.text(min_size=1, max_size=24),
+    tasks=task_lists(),
+    packet_flits=st.integers(min_value=1, max_value=16),
+    multicast=st.booleans(),
+    per_task_series=st.booleans(),
+)
+
+
+def _reorder(value):
+    """Recursively rebuild dicts with reversed key-insertion order."""
+    if isinstance(value, dict):
+        return {
+            key: _reorder(value[key]) for key in reversed(list(value))
+        }
+    if isinstance(value, list):
+        return [_reorder(item) for item in value]
+    return value
+
+
+@SETTINGS
+@given(spec=specs)
+def test_json_round_trip_is_identity(spec):
+    dumped = json.loads(json.dumps(spec.to_dict()))
+    rebuilt = WorkloadSpec.from_dict(dumped)
+    assert rebuilt == spec
+    assert rebuilt.canonical() == spec.canonical()
+    assert rebuilt.key() == spec.key()
+
+
+@SETTINGS
+@given(spec=specs)
+def test_key_is_stable_under_dict_key_reordering(spec):
+    shuffled = _reorder(spec.to_dict())
+    assert WorkloadSpec.from_dict(shuffled).key() == spec.key()
+
+
+@SETTINGS
+@given(spec=specs)
+def test_to_dict_omits_task_defaults(spec):
+    from repro.app.workloads.spec import _TASK_DEFAULTS
+
+    for task, dumped in zip(spec.tasks, spec.to_dict()["tasks"]):
+        for field, default in _TASK_DEFAULTS.items():
+            if getattr(task, field) == default:
+                assert field not in dumped
+
+
+@SETTINGS
+@given(
+    arrival=arrivals(),
+    t_us=st.integers(min_value=0, max_value=10**9),
+)
+def test_arrival_curve_is_a_probability(arrival, t_us):
+    rate = arrival.rate_at(t_us)
+    assert 0.0 <= rate <= 1.0
+    assert 0.0 <= arrival.mean_rate() <= 1.0
+
+
+@SETTINGS
+@given(service_us=st.integers(max_value=0))
+def test_non_positive_service_rejected(service_us):
+    with pytest.raises(ValueError):
+        TaskSpec(task_id=1, service_us=service_us)
+
+
+@SETTINGS
+@given(shape=st.text(min_size=1, max_size=12))
+def test_unknown_arrival_shapes_rejected(shape):
+    assume(shape not in ARRIVAL_SHAPES)
+    with pytest.raises(ValueError):
+        ArrivalSpec(period_us=1_000, shape=shape)
+
+
+@SETTINGS
+@given(key=st.text(min_size=1, max_size=12))
+def test_unknown_task_keys_rejected(key):
+    from repro.app.workloads.spec import _TASK_DEFAULTS
+
+    assume(key not in _TASK_DEFAULTS and key not in ("id", "service_us"))
+    with pytest.raises(ValueError):
+        TaskSpec.from_dict({"id": 1, "service_us": 100, key: 1})

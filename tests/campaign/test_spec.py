@@ -268,5 +268,5 @@ class TestDescriptorKeys:
     def test_job_matches_runner_tuple(self, small):
         descriptor = RunDescriptor("none", 3, 2, small, keep_series=True)
         assert descriptor.job() == (
-            "none", 3, 2, small, "joins", True, None
+            "none", 3, 2, small, "joins", True, None, None
         )
