@@ -17,12 +17,15 @@ coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro \
 		--cov-report=term-missing:skip-covered --cov-fail-under=80
 
-# Static checks; configuration lives in pyproject.toml.
+# Static checks; ruff configuration lives in pyproject.toml.  The docs
+# link check (every relative link in README.md + docs/*.md must resolve)
+# rides along — a moved file breaks lint, not the docs.
 lint:
 	@command -v ruff >/dev/null 2>&1 || { \
 		echo "ruff not found — install with: pip install ruff==$(RUFF_VERSION)"; \
 		exit 1; }
 	ruff check .
+	$(PYTHON) tools/check_doc_links.py
 
 # Microbenchmarks + short sweep; exits non-zero if the gated benchmark
 # (test_small_platform_run) regresses >25% against BENCH_micro.json.
@@ -60,5 +63,11 @@ workload-smoke:
 examples-smoke:
 	$(PYTHON) -m benchmarks.harness --examples-smoke
 
+# Sweep-scale analysis gate: `campaign report` must emit a
+# self-contained page that re-renders byte-identically, and `campaign
+# compare` must flag an injected regression with a non-zero exit.
+report-smoke:
+	$(PYTHON) -m benchmarks.harness --report-smoke
+
 .PHONY: test lint coverage bench bench-baseline campaign-smoke \
-	dynamics-smoke workload-smoke examples-smoke
+	dynamics-smoke workload-smoke examples-smoke report-smoke

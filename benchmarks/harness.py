@@ -44,6 +44,17 @@ rate the platform cannot sustain.  ``--examples-smoke``
 (``make examples-smoke``) executes every ``examples/*.py`` script and
 fails on a non-zero exit.
 
+Report smoke gate
+-----------------
+``--report-smoke`` (``make report-smoke``) gates the sweep-scale
+analysis layer: a small campaign runs cold then resumed (zero
+re-executions), ``campaign report`` must emit a self-contained HTML page
+(no scripts, links or external fetches) that re-renders byte-identically
+and names every model, a self-``compare`` must come back clean, and a
+candidate root with a deliberately degraded ``settled_performance`` must
+be flagged — with ``campaign compare`` exiting non-zero, the CI
+contract.
+
 Combined with ``--micro``, the numbers join the printed report and the
 baseline record.
 """
@@ -435,6 +446,116 @@ def check_workload_smoke(smoke):
     return None
 
 
+def run_report_smoke(models=("none", "foraging_for_work"), seeds=2,
+                     processes=0):
+    """Report/compare smoke over a real store root; returns evidence.
+
+    Runs a ``len(models)`` × ``seeds`` zero-fault campaign into a
+    temporary root (cold, then resumed — the resumed pass must execute
+    nothing), renders the static report twice, self-compares the root,
+    then injects a regression (every ``settled_performance`` halved in a
+    copied candidate root) and checks both :func:`repro.analysis.compare`
+    and the ``campaign compare`` CLI flag it.
+    """
+    import contextlib
+    import io
+    import shutil
+
+    from repro.analysis.report import compare, write_report
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.store import RESULTS_FILE, encode_line
+    from repro.experiments.cli import main as cli_main
+    from repro.platform.config import PlatformConfig
+
+    spec = CampaignSpec(
+        name="report-smoke",
+        models=tuple(models),
+        seeds=tuple(default_seeds(seeds, base=seed_base())),
+        fault_counts=(0,),
+        config=PlatformConfig.small(),
+    )
+    root = tempfile.mkdtemp(prefix="report-smoke-")
+    candidate = tempfile.mkdtemp(prefix="report-smoke-cand-")
+    try:
+        store = os.path.join(root, spec.name)
+        run_campaign(spec, store=store, processes=processes)
+        resumed = run_campaign(spec, store=store, processes=processes)
+        html_path = write_report(root)
+        with open(html_path) as handle:
+            page = handle.read()
+        write_report(root)
+        with open(html_path) as handle:
+            repeat = handle.read()
+        self_ok = compare(root, root).ok()
+        # Candidate root: same cells, settled_performance halved — a
+        # regression the gate must flag and the CLI must exit 1 on.
+        cand_store = os.path.join(candidate, spec.name)
+        shutil.copytree(store, cand_store)
+        results_path = os.path.join(cand_store, RESULTS_FILE)
+        records = []
+        with open(results_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                record["row"]["settled_performance"] *= 0.5
+                records.append(record)
+        with open(results_path, "w") as handle:
+            for record in records:
+                handle.write(encode_line(record))
+                handle.write("\n")
+        comparison = compare(root, candidate)
+        with contextlib.redirect_stdout(io.StringIO()):
+            cli_exit = cli_main(["campaign", "compare", root, candidate])
+        return {
+            "cells": spec.size(),
+            "resumed_executed": resumed.executed,
+            "html_bytes": len(page),
+            "identical": page == repeat,
+            "self_contained": all(
+                marker not in page
+                for marker in ("<script", "<link", "src=")
+            ),
+            "models_present": all(model in page for model in models),
+            "self_compare_ok": self_ok,
+            "regressions_flagged": len(comparison.regressions()),
+            "compare_exit": cli_exit,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(candidate, ignore_errors=True)
+
+
+def check_report_smoke(smoke):
+    """Failure message for a report-smoke run, or ``None`` when passed."""
+    if smoke["resumed_executed"] != 0:
+        return (
+            "report-smoke: resumed pass re-executed {} of {} cells "
+            "(expected 0)".format(smoke["resumed_executed"], smoke["cells"])
+        )
+    if not smoke["identical"]:
+        return "report-smoke: repeated render was not byte-identical"
+    if not smoke["self_contained"]:
+        return (
+            "report-smoke: the page references external assets "
+            "(script/link/src) — it must be self-contained"
+        )
+    if not smoke["models_present"]:
+        return "report-smoke: a campaign model is missing from the page"
+    if not smoke["self_compare_ok"]:
+        return "report-smoke: a root compared against itself was flagged"
+    if smoke["regressions_flagged"] == 0:
+        return (
+            "report-smoke: the injected settled_performance drop was "
+            "not flagged"
+        )
+    if smoke["compare_exit"] == 0:
+        return (
+            "report-smoke: campaign compare exited zero despite the "
+            "injected regression"
+        )
+    return None
+
+
 def run_examples_smoke():
     """Execute every ``examples/*.py`` script; returns name -> exit code.
 
@@ -608,15 +729,23 @@ def main(argv=None):
         help="execute every examples/*.py script and fail on non-zero "
              "exits",
     )
+    parser.add_argument(
+        "--report-smoke", action="store_true",
+        help="run the sweep-scale analysis gate (campaign report must "
+             "re-render byte-identically and be self-contained, campaign "
+             "compare must flag an injected regression with a non-zero "
+             "exit)",
+    )
     args = parser.parse_args(argv)
     requested = (
         args.micro, args.campaign_smoke, args.dynamics_smoke,
-        args.workload_smoke, args.examples_smoke,
+        args.workload_smoke, args.examples_smoke, args.report_smoke,
     )
     if not any(requested):
         parser.error(
             "nothing to do (pass --micro, --campaign-smoke, "
-            "--dynamics-smoke, --workload-smoke and/or --examples-smoke)"
+            "--dynamics-smoke, --workload-smoke, --examples-smoke "
+            "and/or --report-smoke)"
         )
 
     smoke = None
@@ -624,6 +753,7 @@ def main(argv=None):
     dynamics = None
     workload = None
     examples = None
+    report = None
     if args.dynamics_smoke:
         dynamics = run_dynamics_smoke()
         print("dynamics smoke (hysteresis governor + watchdog recovery):")
@@ -640,7 +770,7 @@ def main(argv=None):
             return 2
         print("  storm throttled, recovered and repeated identically — ok")
         if not any((args.micro, args.campaign_smoke, args.workload_smoke,
-                    args.examples_smoke)):
+                    args.examples_smoke, args.report_smoke)):
             return 0
     if args.workload_smoke:
         workload = run_workload_smoke()
@@ -659,7 +789,8 @@ def main(argv=None):
             print("\nWORKLOAD SMOKE FAILED: {}".format(failure))
             return 2
         print("  declarative workloads deterministic and conserved — ok")
-        if not any((args.micro, args.campaign_smoke, args.examples_smoke)):
+        if not any((args.micro, args.campaign_smoke, args.examples_smoke,
+                    args.report_smoke)):
             return 0
     if args.examples_smoke:
         examples = run_examples_smoke()
@@ -671,6 +802,29 @@ def main(argv=None):
             print("\nEXAMPLES SMOKE FAILED: {}".format(failure))
             return 2
         print("  every example ran clean — ok")
+        if not any((args.micro, args.campaign_smoke, args.report_smoke)):
+            return 0
+    if args.report_smoke:
+        report = run_report_smoke()
+        print("report smoke ({} cells, small platform):".format(
+            report["cells"]))
+        print("  {:<36} {}".format(
+            "resumed pass executed", report["resumed_executed"]))
+        print("  {:<36} {} ({} bytes)".format(
+            "re-render byte-identical", report["identical"],
+            report["html_bytes"]))
+        print("  {:<36} {}".format(
+            "page self-contained", report["self_contained"]))
+        print("  {:<36} {}".format(
+            "self-compare clean", report["self_compare_ok"]))
+        print("  {:<36} {} flagged, exit {}".format(
+            "injected regression", report["regressions_flagged"],
+            report["compare_exit"]))
+        failure = check_report_smoke(report)
+        if failure is not None:
+            print("\nREPORT SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  report deterministic, compare gated the regression — ok")
         if not args.micro and not args.campaign_smoke:
             return 0
     if args.campaign_smoke:
@@ -727,6 +881,8 @@ def main(argv=None):
         result["workload_smoke"] = workload
     if examples is not None:
         result["examples_smoke"] = examples
+    if report is not None:
+        result["report_smoke"] = report
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

@@ -1,15 +1,24 @@
-"""Analysis toolkit: spatial maps, latency statistics and data export.
+"""Analysis toolkit: maps, latency stats, export, sweep-scale reports.
 
 The paper's experiments are evaluated through the time series of Figure 4
 and the quartile tables; this package adds the inspection tools a user of
 the platform needs beyond those headline artefacts:
 
 * :mod:`repro.analysis.heatmap` — ASCII spatial maps of the grid (task
-  topology, activity, temperature, queue depth, failures) at any instant;
+  topology, activity, temperature, queue depth, failures) at any instant,
+  plus the shared inline-SVG heat-matrix renderer;
 * :mod:`repro.analysis.latency` — streaming packet-latency statistics
   (mean, quantiles, histogram) collected per task;
 * :mod:`repro.analysis.export` — CSV/JSON export of metric series and
-  batch results for external plotting.
+  batch results for external plotting (row schema documented there);
+* :mod:`repro.analysis.streaming` — constant-memory aggregation over
+  campaign store roots: per-group (model × scenario-family × workload)
+  counts, means, quantile sketches and dynamics counters, O(groups)
+  memory no matter how many cells stream past;
+* :mod:`repro.analysis.report` — ``campaign report`` static HTML pages
+  and cross-campaign regression comparison (``campaign compare``).
+
+See ``docs/cli.md`` for the command-line entry points over these layers.
 """
 
 from repro.analysis.export import (
@@ -20,19 +29,49 @@ from repro.analysis.export import (
 from repro.analysis.heatmap import (
     activity_map,
     render_grid,
+    svg_heatmap,
     task_map,
     temperature_map,
 )
 from repro.analysis.latency import LatencyCollector, LatencyStats
+from repro.analysis.report import (
+    Comparison,
+    compare,
+    compare_aggregates,
+    format_comparison,
+    render_html,
+    write_report,
+)
+from repro.analysis.streaming import (
+    RootAggregate,
+    StreamingHistogram,
+    StreamStats,
+    aggregate_dirs,
+    aggregate_root,
+    group_key,
+)
 
 __all__ = [
+    "Comparison",
     "LatencyCollector",
     "LatencyStats",
+    "RootAggregate",
+    "StreamStats",
+    "StreamingHistogram",
     "activity_map",
+    "aggregate_dirs",
+    "aggregate_root",
+    "compare",
+    "compare_aggregates",
+    "format_comparison",
+    "group_key",
     "render_grid",
+    "render_html",
     "results_to_csv",
     "results_to_json",
     "series_to_csv",
+    "svg_heatmap",
     "task_map",
     "temperature_map",
+    "write_report",
 ]

@@ -5,6 +5,39 @@ flatten it into the two formats external plotting pipelines consume.  CSV
 writing uses the standard library ``csv`` module; JSON export is plain
 ``json`` with deterministic key ordering, so exported artefacts diff
 cleanly across runs.
+
+Row schema
+----------
+Every exporter here flattens :class:`~repro.experiments.runner.RunResult`
+objects through :meth:`~repro.experiments.runner.RunResult.as_row`, the
+**scalar row** that also lives under ``"row"`` in campaign store records
+(:func:`repro.campaign.store.encode_result`) — one schema end to end,
+whether a result came from a live run or streamed off a store:
+
+``model``, ``seed``, ``faults``
+    The cell coordinates (``faults`` is the number of node kills
+    actually injected, also for scenario-driven runs).
+``settling_time_ms``, ``settled_performance``
+    Cold-start settling clock and the throughput level it reached.
+``recovery_time_ms``, ``recovered_performance``
+    Post-fault recovery clock and level (mirror the settled values on
+    fault-free runs).
+``total_switches``
+    Intelligence-driven task switches over the run.
+``scenario``, ``workload``, ``governor`` *(only when present)*
+    Names of the fault scenario, declarative workload and DVFS governor
+    driving the run; legacy runs omit the keys entirely so historic
+    exports stay byte-identical.
+``throttle_events``, ``autonomous_recoveries``, ``deadlock_drops``
+    *(only when non-zero)* closed-loop dynamics counters.
+
+``results_to_json`` entries add ``app_stats`` and ``noc_stats`` (plain
+stat dicts) and — with ``include_series=True`` — ``series``, the full
+:meth:`~repro.app.metrics.MetricsSeries.as_dict` time-series payload.
+Campaign-shaped consumers that only need rows should prefer the
+streaming surface (:mod:`repro.analysis.streaming` over
+:func:`repro.campaign.rows.iter_merged_rows`) instead of materialised
+result lists.
 """
 
 import csv
@@ -32,20 +65,56 @@ def series_to_csv(series, path):
 
 
 def results_to_csv(results, path):
-    """Write a list of :class:`RunResult` summaries to CSV."""
-    if not results:
-        raise ValueError("no results to export")
-    rows = [result.as_row() for result in results]
-    header = list(rows[0])
+    """Write :class:`RunResult` summaries to CSV (row schema above).
+
+    ``results`` may be any iterable — rows are written as they arrive,
+    one at a time.  The header is fixed by the *first* result's row (the
+    only-when-present columns are uniform within one batch), so a lazily
+    generated sweep streams straight to disk.  Returns the row count.
+    """
+    writer = None
+    count = 0
     with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=header)
-        writer.writeheader()
-        writer.writerows(rows)
-    return len(rows)
+        for result in results:
+            row = result.as_row()
+            if writer is None:
+                writer = csv.DictWriter(handle, fieldnames=list(row))
+                writer.writeheader()
+            writer.writerow(row)
+            count += 1
+    if count == 0:
+        raise ValueError("no results to export")
+    return count
 
 
 def results_to_json(results, path, include_series=False):
-    """Write results (optionally with full series) to a JSON file."""
+    """Write results (optionally with full series) to a JSON file.
+
+    Each entry is the scalar row (schema above) plus ``app_stats`` and
+    ``noc_stats``; ``include_series=True`` adds the full time series
+    under ``series`` for results that kept one.  ``results`` may be any
+    iterable of :class:`~repro.experiments.runner.RunResult`.  Values
+    round-trip exactly (JSON preserves Python ints and floats), so a
+    reloaded file compares equal to the original rows:
+
+    >>> import os, tempfile
+    >>> from repro.experiments.runner import RunResult
+    >>> result = RunResult(
+    ...     model="none", seed=7, faults=0, settling_time_ms=12.5,
+    ...     settled_performance=3.25, recovery_time_ms=0.0,
+    ...     recovered_performance=3.25, series=None,
+    ...     app_stats={"joins": 42}, noc_stats={"delivered": 99},
+    ...     total_switches=0)
+    >>> path = os.path.join(tempfile.mkdtemp(), "results.json")
+    >>> results_to_json([result], path)
+    1
+    >>> loaded = load_results_json(path)
+    >>> loaded[0]["model"], loaded[0]["settled_performance"]
+    ('none', 3.25)
+    >>> {k: v for k, v in loaded[0].items()
+    ...  if k not in ("app_stats", "noc_stats")} == result.as_row()
+    True
+    """
     payload = []
     for result in results:
         entry = result.as_row()
@@ -60,6 +129,11 @@ def results_to_json(results, path, include_series=False):
 
 
 def load_results_json(path):
-    """Load a ``results_to_json`` file back as a list of dicts."""
+    """Load a ``results_to_json`` file back as a list of row dicts.
+
+    Inverse of :func:`results_to_json` (see its round-trip doctest);
+    entries carry the scalar row schema plus ``app_stats``/``noc_stats``
+    and, when exported with ``include_series=True``, ``series``.
+    """
     with open(path) as handle:
         return json.load(handle)

@@ -1,11 +1,50 @@
-"""ASCII spatial maps of the Centurion grid.
+"""Heat maps: ASCII spatial grids and the shared inline-SVG renderer.
 
 The emergent behaviours of the paper are *spatial* — providers migrate onto
 traffic corridors, recovery re-forms the topology around a dead region —
 and a per-node map at a chosen instant shows them directly.  Values are
 rendered row by row in grid orientation (row 0 at the top, matching
 Figure 2's layout with the Experiment Controller attached to the top row).
+
+:func:`svg_heatmap` is the grid renderer's report-grade twin: a
+dependency-free inline-SVG heat matrix (one sequential hue, light→dark,
+value labels in every cell, native ``<title>`` hover) shared with the
+``campaign report`` HTML pages (:mod:`repro.analysis.report`), so the
+spatial maps and the campaign panels carry one visual language.
 """
+
+from xml.sax.saxutils import escape
+
+#: Sequential blue ramp (light → dark), the single-hue magnitude scale
+#: shared by every SVG heat panel.  Ordered so the lightest step means
+#: "near zero" and recedes toward the page surface.
+SEQUENTIAL_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: Ramp index from which cell-label ink flips from dark text to white
+#: (the darker steps no longer hold 4.5:1 against near-black text).
+_LIGHT_INK_FROM = 6
+
+
+def sequential_color(value, low, high):
+    """The ramp colour for ``value`` within ``[low, high]``.
+
+    Returns ``(fill hex, label ink hex)``; a degenerate range maps to
+    the middle step so single-valued panels stay readable.
+    """
+    if value is None:
+        return None, None
+    if high <= low:
+        index = len(SEQUENTIAL_RAMP) // 2
+    else:
+        fraction = (float(value) - low) / (high - low)
+        fraction = min(1.0, max(0.0, fraction))
+        index = int(round(fraction * (len(SEQUENTIAL_RAMP) - 1)))
+    ink = "#ffffff" if index >= _LIGHT_INK_FROM else "#0b0b0b"
+    return SEQUENTIAL_RAMP[index], ink
 
 
 def render_grid(topology, values, formatter=None, legend=None, title=None):
@@ -130,3 +169,71 @@ def queue_map(platform):
         values,
         title="queue depth at t={} us".format(platform.sim.now),
     )
+
+
+def svg_heatmap(row_labels, col_labels, cells, fmt="{:.2f}",
+                cell_w=86, cell_h=30, label_w=170):
+    """Render a mean-matrix as a self-contained inline-SVG heat panel.
+
+    ``cells[r][c]`` is a number or ``None`` (empty grid coordinate);
+    colour is the one-hue sequential ramp scaled to the matrix's own
+    min/max, every cell carries its value as a label (ink flips light
+    on the dark steps) plus a native ``<title>`` tooltip, and a 2px
+    page-colour gap separates the fills.  Pure string assembly — no
+    dependencies — and deterministic for a given matrix, so report
+    pages rebuild bit-identically.
+    """
+    values = [v for row in cells for v in row if v is not None]
+    low = min(values) if values else 0.0
+    high = max(values) if values else 0.0
+    width = label_w + cell_w * len(col_labels)
+    height = cell_h * (len(row_labels) + 1)
+    parts = [
+        '<svg class="heatmap" role="img" width="{w}" height="{h}" '
+        'viewBox="0 0 {w} {h}" xmlns="http://www.w3.org/2000/svg">'
+        .format(w=width, h=height)
+    ]
+    for c, label in enumerate(col_labels):
+        parts.append(
+            '<text x="{x}" y="{y}" text-anchor="middle" '
+            'class="axis">{t}</text>'.format(
+                x=label_w + c * cell_w + cell_w // 2,
+                y=cell_h - 10, t=escape(str(label)),
+            )
+        )
+    for r, label in enumerate(row_labels):
+        y = (r + 1) * cell_h
+        parts.append(
+            '<text x="{x}" y="{y}" text-anchor="end" '
+            'class="axis">{t}</text>'.format(
+                x=label_w - 8, y=y + cell_h // 2 + 4,
+                t=escape(str(label)),
+            )
+        )
+        for c, value in enumerate(cells[r]):
+            x = label_w + c * cell_w
+            if value is None:
+                parts.append(
+                    '<text x="{x}" y="{y}" text-anchor="middle" '
+                    'class="axis">&#183;</text>'.format(
+                        x=x + cell_w // 2, y=y + cell_h // 2 + 4,
+                    )
+                )
+                continue
+            fill, ink = sequential_color(value, low, high)
+            text = fmt.format(value)
+            title = "{} / {}: {}".format(label, col_labels[c], text)
+            parts.append(
+                '<g><title>{title}</title>'
+                '<rect x="{x}" y="{y}" width="{w}" height="{h}" rx="3" '
+                'fill="{fill}"/>'
+                '<text x="{tx}" y="{ty}" text-anchor="middle" '
+                'fill="{ink}" class="cell">{text}</text></g>'.format(
+                    title=escape(title), x=x + 1, y=y + 1,
+                    w=cell_w - 2, h=cell_h - 2, fill=fill,
+                    tx=x + cell_w // 2, ty=y + cell_h // 2 + 4,
+                    ink=ink, text=escape(text),
+                )
+            )
+    parts.append("</svg>")
+    return "".join(parts)

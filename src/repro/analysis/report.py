@@ -1,0 +1,417 @@
+"""Campaign report pages and cross-campaign regression comparison.
+
+Two consumers of the streaming aggregate
+(:class:`~repro.analysis.streaming.RootAggregate`):
+
+* ``campaign report`` (:func:`write_report`) — a **self-contained static
+  HTML page** per store root: inline CSS, inline-SVG heat panels
+  (:func:`~repro.analysis.heatmap.svg_heatmap`), zero external assets or
+  dependencies, so the file mails/archives as one artefact.  Rendering
+  is pure string assembly over sorted group state — rebuilding the same
+  root yields byte-identical HTML (no timestamps, no environment).
+* :func:`compare` — diff two roots' aggregates group-by-group on the
+  store's content-keyed merge, flagging **regressions** where a metric's
+  mean moved in its worse direction by more than a relative threshold.
+  :func:`format_comparison` prints the verdict; the CLI
+  (``campaign compare A B``) exits non-zero when anything is flagged,
+  which is the CI hook between campaign generations.
+"""
+
+import dataclasses
+import json
+import os
+from xml.sax.saxutils import escape
+
+from repro.analysis.heatmap import svg_heatmap
+from repro.analysis.streaming import (
+    DYNAMICS_COLUMNS,
+    METRIC_COLUMNS,
+    aggregate_root,
+)
+from repro.campaign.index import campaign_dirs
+
+#: Regression-watched metrics and the direction that counts as *better*.
+#: Clocks want to shrink; normalised performance wants to grow.  The
+#: unlisted columns (``total_switches``) are reported but never flagged.
+BETTER_DIRECTION = {
+    "settling_time_ms": "lower",
+    "settled_performance": "higher",
+    "recovery_time_ms": "lower",
+    "recovered_performance": "higher",
+}
+
+#: Default relative regression threshold (5 % worse flags).
+DEFAULT_THRESHOLD = 0.05
+
+#: File names written into the report output directory.
+REPORT_HTML = "index.html"
+REPORT_JSON = "summary.json"
+
+
+@dataclasses.dataclass
+class Delta:
+    """One group × metric comparison between two roots."""
+
+    group: tuple
+    metric: str
+    baseline: float
+    candidate: float
+    #: Relative change, signed as measured (positive = value grew).
+    relative: float
+    #: True when the change exceeds the threshold in the worse direction.
+    regression: bool
+
+    def describe(self):
+        """One human-readable verdict line."""
+        return (
+            "{}[{}] {}: {:.4g} -> {:.4g} ({:+.1%}{})".format(
+                "/".join(self.group[:2]), self.group[2], self.metric,
+                self.baseline, self.candidate, self.relative,
+                ", REGRESSION" if self.regression else "",
+            )
+        )
+
+
+@dataclasses.dataclass
+class Comparison:
+    """A full baseline-vs-candidate diff of two campaign roots."""
+
+    baseline_root: str
+    candidate_root: str
+    threshold: float
+    deltas: list
+    #: Groups present only in the baseline (coverage shrank).
+    missing: list
+    #: Groups present only in the candidate (new coverage, never flagged).
+    added: list
+
+    def regressions(self):
+        """The flagged deltas (worse beyond threshold), worst first."""
+        flagged = [d for d in self.deltas if d.regression]
+        return sorted(flagged, key=lambda d: -abs(d.relative))
+
+    def ok(self):
+        """True when nothing regressed and no baseline group vanished."""
+        return not self.regressions() and not self.missing
+
+    def as_dict(self):
+        """JSON-friendly dump (the ``campaign compare --json`` payload)."""
+        return {
+            "baseline": self.baseline_root,
+            "candidate": self.candidate_root,
+            "threshold": self.threshold,
+            "ok": self.ok(),
+            "regressions": [
+                dataclasses.asdict(d) for d in self.regressions()
+            ],
+            "missing_groups": [list(g) for g in self.missing],
+            "added_groups": [list(g) for g in self.added],
+        }
+
+
+def _relative(baseline, candidate):
+    """Signed relative change, tolerant of a zero baseline."""
+    if baseline:
+        return (candidate - baseline) / abs(baseline)
+    if candidate == baseline:
+        return 0.0
+    return float("inf") if candidate > baseline else float("-inf")
+
+
+def compare_aggregates(baseline, candidate, threshold=DEFAULT_THRESHOLD,
+                       baseline_root="baseline",
+                       candidate_root="candidate"):
+    """Diff two :class:`RootAggregate` objects group-by-group.
+
+    Groups are matched on their ``(model, family, workload)`` key —
+    "this scenario family vs baseline, all models" falls out of the
+    grouping.  For every shared group and every
+    :data:`BETTER_DIRECTION` metric the mean's relative change is
+    computed; a move beyond ``threshold`` in the worse direction flags
+    a regression.  Vanished baseline groups are reported as ``missing``
+    (and fail :meth:`Comparison.ok`); new candidate groups are listed
+    but never flagged.
+    """
+    deltas = []
+    shared = sorted(set(baseline.groups) & set(candidate.groups))
+    for key in shared:
+        base_group = baseline.groups[key]
+        cand_group = candidate.groups[key]
+        for metric, better in sorted(BETTER_DIRECTION.items()):
+            base_mean = base_group.metrics[metric].mean
+            cand_mean = cand_group.metrics[metric].mean
+            relative = _relative(base_mean, cand_mean)
+            worse = relative > 0 if better == "lower" else relative < 0
+            deltas.append(
+                Delta(
+                    group=key,
+                    metric=metric,
+                    baseline=base_mean,
+                    candidate=cand_mean,
+                    relative=relative,
+                    regression=worse and abs(relative) > threshold,
+                )
+            )
+    return Comparison(
+        baseline_root=baseline_root,
+        candidate_root=candidate_root,
+        threshold=threshold,
+        deltas=deltas,
+        missing=sorted(set(baseline.groups) - set(candidate.groups)),
+        added=sorted(set(candidate.groups) - set(baseline.groups)),
+    )
+
+
+def _root_dirs(path):
+    """The campaign directories a report/compare path names.
+
+    A store root (subdirectories holding ``results.jsonl``) expands to
+    its campaigns; a single campaign directory stands alone, so both
+    ``campaign report campaigns/`` and ``… campaigns/table1`` work.
+    """
+    names = campaign_dirs(path)
+    if names:
+        return [os.path.join(path, name) for name in names]
+    return [path]
+
+
+def compare(baseline_root, candidate_root, threshold=DEFAULT_THRESHOLD,
+            max_bins=64):
+    """Stream-aggregate two roots (or campaign dirs) and diff them."""
+    baseline = aggregate_root(
+        baseline_root, dirs=_root_dirs(baseline_root), max_bins=max_bins
+    )
+    candidate = aggregate_root(
+        candidate_root, dirs=_root_dirs(candidate_root), max_bins=max_bins
+    )
+    return compare_aggregates(
+        baseline, candidate, threshold=threshold,
+        baseline_root=str(baseline_root),
+        candidate_root=str(candidate_root),
+    )
+
+
+def format_comparison(comparison, limit=20):
+    """Plain-text verdict for a :class:`Comparison` (CLI stdout)."""
+    lines = [
+        "baseline  {}".format(comparison.baseline_root),
+        "candidate {}".format(comparison.candidate_root),
+        "threshold {:.1%} ({} group-metric pairs compared)".format(
+            comparison.threshold, len(comparison.deltas)
+        ),
+    ]
+    regressions = comparison.regressions()
+    for delta in regressions[:limit]:
+        lines.append("  " + delta.describe())
+    if len(regressions) > limit:
+        lines.append(
+            "  ... and {} more regressions".format(
+                len(regressions) - limit)
+        )
+    for group in comparison.missing:
+        lines.append(
+            "  missing in candidate: {}".format("/".join(group))
+        )
+    if comparison.added:
+        lines.append(
+            "  {} new group(s) in candidate (not compared)".format(
+                len(comparison.added))
+        )
+    lines.append(
+        "OK — no regressions" if comparison.ok()
+        else "FAIL — {} regression(s), {} missing group(s)".format(
+            len(regressions), len(comparison.missing))
+    )
+    return "\n".join(lines)
+
+
+# -- static HTML report ------------------------------------------------------
+
+#: Inline stylesheet: role-based custom properties, light + dark from
+#: the same ramps (dark is selected, not a flip), recessive chrome.
+_CSS = """\
+:root { color-scheme: light dark; }
+body { margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+  font: 14px/1.5 system-ui, sans-serif;
+  background: #fcfcfb; color: #0b0b0b; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta, .axis { color: #52514e; }
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+.tile { border: 1px solid #e5e4e0; border-radius: 6px;
+  padding: .6rem 1rem; min-width: 8rem; }
+.tile .value { font-size: 1.5rem; font-weight: 600; }
+.tile .label { color: #52514e; font-size: .85rem; }
+table { border-collapse: collapse; margin: .5rem 0; width: 100%; }
+th, td { padding: .3rem .6rem; text-align: right;
+  border-bottom: 1px solid #e5e4e0; font-variant-numeric: tabular-nums; }
+th { color: #52514e; font-weight: 600; }
+th.key, td.key { text-align: left; }
+tr.group-row:hover td { background: #f0efec; }
+svg.heatmap { margin: .5rem 0; max-width: 100%; height: auto; }
+svg.heatmap text { font: 11px system-ui, sans-serif; }
+svg.heatmap text.axis { fill: #52514e; }
+@media (prefers-color-scheme: dark) {
+  body { background: #1a1a19; color: #ffffff; }
+  .meta, .axis, .tile .label, th { color: #c3c2b7; }
+  .tile, th, td { border-color: #383835; }
+  tr.group-row:hover td { background: #262625; }
+  svg.heatmap text.axis { fill: #c3c2b7; }
+}
+"""
+
+
+def _fmt(value, digits=3):
+    """Compact numeric cell text (empty for missing values)."""
+    if value is None:
+        return ""
+    return "{:.{}g}".format(value, digits)
+
+
+def _tile(value, label):
+    """One stat tile."""
+    return (
+        '<div class="tile"><div class="value">{}</div>'
+        '<div class="label">{}</div></div>'.format(
+            escape(str(value)), escape(label))
+    )
+
+
+def _group_table(aggregate):
+    """The per-group summary table (one row per group)."""
+    dynamics_used = [
+        column for column in DYNAMICS_COLUMNS
+        if any(g.dynamics[column] for g in aggregate.groups.values())
+    ]
+    head = ["model", "family", "workload", "rows"]
+    for metric in METRIC_COLUMNS:
+        head += ["{} mean".format(metric), "p50", "p95"]
+    head += dynamics_used
+    cells = []
+    for key, group in aggregate.group_items():
+        row = [
+            '<td class="key">{}</td>'.format(escape(part))
+            for part in key
+        ]
+        row.append("<td>{}</td>".format(group.rows))
+        for metric in METRIC_COLUMNS:
+            stats = group.metrics[metric]
+            row.append("<td>{}</td>".format(_fmt(stats.mean, 4)))
+            row.append("<td>{}</td>".format(_fmt(stats.quantile(0.5))))
+            row.append("<td>{}</td>".format(_fmt(stats.quantile(0.95))))
+        for column in dynamics_used:
+            row.append("<td>{}</td>".format(group.dynamics[column]))
+        cells.append(
+            '<tr class="group-row">{}</tr>'.format("".join(row))
+        )
+    header = "".join(
+        '<th class="key">{0}</th>'.format(escape(h))
+        if h in ("model", "family", "workload")
+        else "<th>{}</th>".format(escape(h))
+        for h in head
+    )
+    return "<table><thead><tr>{}</tr></thead><tbody>{}</tbody></table>".format(
+        header, "".join(cells)
+    )
+
+
+def _axis_table(aggregate, axis, label):
+    """One per-axis rollup table (weighted means along one dimension)."""
+    rollup = aggregate.axis_rollup(axis)
+    rows = []
+    for value in aggregate.axis_values(axis):
+        entry = rollup[value]
+        cells = ['<td class="key">{}</td>'.format(escape(str(value))),
+                 "<td>{}</td>".format(entry["rows"])]
+        cells += [
+            "<td>{}</td>".format(_fmt(entry["means"][m], 4))
+            for m in METRIC_COLUMNS
+        ]
+        rows.append("<tr>{}</tr>".format("".join(cells)))
+    header = '<th class="key">{}</th><th>rows</th>{}'.format(
+        escape(label),
+        "".join("<th>{}</th>".format(escape(m)) for m in METRIC_COLUMNS),
+    )
+    return "<table><thead><tr>{}</tr></thead><tbody>{}</tbody></table>".format(
+        header, "".join(rows)
+    )
+
+
+#: Metrics given a heat panel (model rows × family columns).
+HEATMAP_METRICS = ("settled_performance", "recovery_time_ms")
+
+
+def render_html(aggregate, title="campaign report", source=None):
+    """The complete self-contained report page as a string.
+
+    Deterministic: sorted groups, no timestamps, no external fetches —
+    repeated rendering of the same aggregate is byte-identical.
+    """
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>{}</title>".format(escape(title)),
+        "<style>{}</style></head><body>".format(_CSS),
+        "<h1>{}</h1>".format(escape(title)),
+    ]
+    if source:
+        parts.append(
+            '<p class="meta">source: {}</p>'.format(escape(str(source)))
+        )
+    parts.append(
+        '<div class="tiles">{}{}{}</div>'.format(
+            _tile(aggregate.rows, "rows aggregated"),
+            _tile(len(aggregate.groups),
+                  "groups (model x family x workload)"),
+            _tile(len(aggregate.campaigns) or "-", "campaigns merged"),
+        )
+    )
+    if aggregate.campaigns:
+        parts.append(
+            '<p class="meta">campaigns: {}</p>'.format(
+                escape(", ".join(sorted(aggregate.campaigns))))
+        )
+    parts.append("<h2>Groups</h2>")
+    parts.append(_group_table(aggregate))
+    for axis, label in ((0, "model"), (1, "family"), (2, "workload")):
+        if len(aggregate.axis_values(axis)) > 1:
+            parts.append("<h2>By {}</h2>".format(escape(label)))
+            parts.append(_axis_table(aggregate, axis, label))
+    for metric in HEATMAP_METRICS:
+        rows, cols, cells = aggregate.matrix(metric)
+        if rows and cols:
+            parts.append(
+                "<h2>{} (mean, model &#215; family)</h2>".format(
+                    escape(metric))
+            )
+            parts.append(svg_heatmap(rows, cols, cells))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(root, out_dir=None, dirs=None, title=None, max_bins=64):
+    """Aggregate a store root and write the static report.
+
+    Streams the root's rows once (O(groups) memory), writes
+    ``index.html`` (the self-contained page) and ``summary.json`` (the
+    aggregate dump, for machines) into ``out_dir`` — default
+    ``<root>/report`` — and returns the HTML path.
+    """
+    aggregate = aggregate_root(
+        root, dirs=dirs if dirs is not None else _root_dirs(root),
+        max_bins=max_bins,
+    )
+    out_dir = out_dir or os.path.join(root, "report")
+    os.makedirs(out_dir, exist_ok=True)
+    html_path = os.path.join(out_dir, REPORT_HTML)
+    page = render_html(
+        aggregate,
+        title=title or "campaign report: {}".format(
+            os.path.basename(os.path.normpath(root)) or root),
+        source=root,
+    )
+    with open(html_path, "w") as handle:
+        handle.write(page)
+    with open(os.path.join(out_dir, REPORT_JSON), "w") as handle:
+        json.dump(aggregate.summary(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return html_path

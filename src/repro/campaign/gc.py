@@ -276,6 +276,9 @@ def merged_records(dirs):
     Directories are taken in the given order, keys within one campaign
     in first-seen order; the first campaign holding a key wins (under
     the dedup contract every holder's record is byte-identical anyway).
+    Materialises every record — for sweep-scale roots use the streaming
+    twin, :func:`repro.campaign.rows.iter_merged_records`, which yields
+    the same merge one record at a time.
     """
     merged = {}
     for directory in dirs:
@@ -287,35 +290,89 @@ def merged_records(dirs):
     return merged
 
 
-def export_jsonl(merged, stream):
+def _iter_triples(source):
+    """Normalise an export source to ``(campaign, key, record)`` triples.
+
+    Accepts either the :func:`merged_records` mapping (the materialised
+    legacy surface) or any iterable of triples — in particular
+    :func:`repro.campaign.rows.iter_merged_records`, the streaming
+    iterator ``campaign export`` and ``campaign report`` feed through.
+    """
+    if isinstance(source, dict):
+        for key, (campaign, record) in source.items():
+            yield campaign, key, record
+    else:
+        for triple in source:
+            yield triple
+
+
+def export_jsonl(source, stream):
     """Write merged records as canonical JSONL (store-byte-identical).
 
     Each line is exactly the line a store would write for that record,
-    so exported rows round-trip losslessly.  Returns the row count.
+    so exported rows round-trip losslessly.  ``source`` is a
+    :func:`merged_records` mapping or a ``(campaign, key, record)``
+    iterable (see :func:`_iter_triples`) — the latter streams, holding
+    one record at a time.  Returns the row count.
     """
-    for _campaign, record in merged.values():
+    count = 0
+    for _campaign, _key, record in _iter_triples(source):
         stream.write(encode_line(record))
         stream.write("\n")
-    return len(merged)
+        count += 1
+    return count
 
 
-def export_csv(merged, stream):
+def csv_columns(dirs):
+    """The CSV column list for the campaigns under ``dirs``, streaming.
+
+    One pass over the merged rows collecting only field *names* (the
+    union of every row's keys): :data:`ROW_COLUMNS` order first, extras
+    appended alphabetically, ``scenario`` included only when some row
+    carries it (legacy roots keep their historic header).  This is the
+    header-discovery pass a streaming CSV export runs before writing.
+    """
+    from repro.campaign.rows import iter_merged_rows
+
+    extra = set()
+    for _campaign, _key, row in iter_merged_rows(dirs):
+        extra.update(row)
+    columns = [c for c in ROW_COLUMNS if c in extra or c != "scenario"]
+    columns.extend(sorted(extra - set(ROW_COLUMNS)))
+    return columns
+
+
+def export_csv(source, stream, columns=None):
     """Write merged scalar rows as CSV; returns the row count.
 
     Columns: ``campaign``, ``key``, then the scalar row fields
     (:data:`ROW_COLUMNS` order, extra fields appended alphabetically).
     Fields a row lacks (e.g. ``scenario`` on legacy cells) are blank.
+
+    With a :func:`merged_records` mapping the column union is computed
+    in place; a streaming ``(campaign, key, record)`` source must bring
+    precomputed ``columns`` (:func:`csv_columns`) because the header is
+    written before the first row.
     """
-    extra = set()
-    for _campaign, record in merged.values():
-        extra.update(record.get("row", {}))
-    columns = [c for c in ROW_COLUMNS if c in extra or c != "scenario"]
-    columns.extend(sorted(extra - set(ROW_COLUMNS)))
+    if columns is None:
+        if not isinstance(source, dict):
+            raise ValueError(
+                "streaming export_csv needs precomputed columns "
+                "(csv_columns); only a merged_records mapping can "
+                "derive them in place"
+            )
+        extra = set()
+        for _campaign, record in source.values():
+            extra.update(record.get("row", {}))
+        columns = [c for c in ROW_COLUMNS if c in extra or c != "scenario"]
+        columns.extend(sorted(extra - set(ROW_COLUMNS)))
     writer = csv.writer(stream, lineterminator="\n")
-    writer.writerow(["campaign", "key"] + columns)
-    for key, (campaign, record) in merged.items():
+    writer.writerow(["campaign", "key"] + list(columns))
+    count = 0
+    for campaign, key, record in _iter_triples(source):
         row = record.get("row", {})
         writer.writerow(
             [campaign, key] + [row.get(column, "") for column in columns]
         )
-    return len(merged)
+        count += 1
+    return count

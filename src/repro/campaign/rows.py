@@ -1,0 +1,141 @@
+"""Streaming row iteration over campaign stores (O(keys) memory).
+
+:func:`~repro.campaign.gc.load_records` materialises every record of a
+campaign — series included — which is fine for surveys but not for
+sweep-scale analysis: a 10⁶-cell root with series attached does not fit
+in memory.  This module is the row-iterator surface the analysis layer
+(:mod:`repro.analysis.streaming`, ``campaign report``/``export``) builds
+on instead: records stream one at a time, and only *keys and byte
+offsets* are ever held — never the decoded records themselves.
+
+The merge semantics are exactly the store's
+(:class:`~repro.campaign.store.ResultStore` and
+:func:`~repro.campaign.gc.load_records`): within one campaign the main
+stream is read before the worker streams, the last write per key wins,
+and keys yield in first-seen order; across campaigns the first campaign
+holding a key wins (under the dedup contract every holder's line is
+byte-identical anyway).  Torn, garbage and keyless lines are skipped,
+costing only themselves.
+
+Winning records are re-read by seeking to their recorded offset, and the
+record found there is *verified* to still carry its key — a file
+compacted underneath a running iteration yields a skip, never another
+cell's data (mirroring :meth:`~repro.campaign.index.StoreIndex.lookup`).
+"""
+
+import json
+import os
+
+from repro.campaign.index import campaign_dirs, iter_jsonl
+from repro.campaign.store import RESULTS_FILE, worker_files
+
+
+def campaign_name(directory):
+    """The campaign name of a store directory (its base name)."""
+    return os.path.basename(os.path.normpath(directory))
+
+
+def _stream_paths(directory):
+    """The directory's JSONL streams in merge order (main, then shards)."""
+    main = os.path.join(directory, RESULTS_FILE)
+    paths = [main] if os.path.exists(main) else []
+    paths.extend(worker_files(directory))
+    return paths
+
+
+def iter_campaign_records(directory, skip=None):
+    """Yield ``(key, record)`` winners of one campaign, streaming.
+
+    Two passes, O(keys) memory: the first scans every stream recording
+    only each key's winning ``(path, offset)`` (last write wins, merge
+    order as documented above); the second seeks back to the winners and
+    yields them in first-seen key order — the order gc compaction and
+    ``campaign export`` preserve.  ``skip`` (a set of keys) suppresses
+    keys an earlier campaign already yielded without decoding their
+    records.
+    """
+    winners = {}
+    order = []
+    for path in _stream_paths(directory):
+        for begin, _end, record in iter_jsonl(path):
+            if record is None:
+                continue
+            key = record.get("key")
+            if not key:
+                continue
+            if key not in winners:
+                order.append(key)
+            winners[key] = (path, begin)
+    handles = {}
+    try:
+        for key in order:
+            if skip is not None and key in skip:
+                continue
+            path, offset = winners[key]
+            handle = handles.get(path)
+            if handle is None:
+                try:
+                    handle = handles[path] = open(path, "rb")
+                except OSError:
+                    continue  # stream removed underneath (gc/reconcile)
+            handle.seek(offset)
+            line = handle.readline()
+            if not line.endswith(b"\n"):
+                continue  # file changed underneath: skip, never lie
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if not isinstance(record, dict) or record.get("key") != key:
+                continue  # verified stale: compaction moved the line
+            yield key, record
+    finally:
+        for handle in handles.values():
+            handle.close()
+
+
+def iter_merged_records(dirs):
+    """Yield ``(campaign, key, record)`` across campaign directories.
+
+    Directories are taken in the given order and the first campaign
+    holding a key wins — the exact merge
+    :func:`~repro.campaign.gc.merged_records` computes, but streaming:
+    at no point is more than one decoded record (plus the key/offset
+    maps) alive.  This is the iterator ``campaign export`` and the
+    streaming analysis layer consume.
+    """
+    seen = set()
+    for directory in dirs:
+        name = campaign_name(directory)
+        for key, record in iter_campaign_records(directory, skip=seen):
+            seen.add(key)
+            yield name, key, record
+
+
+def iter_root_records(root, dirs=None):
+    """:func:`iter_merged_records` over every campaign under ``root``.
+
+    ``dirs`` (names or paths) restricts the pass; the default is every
+    subdirectory holding a ``results.jsonl`` or worker stream, in sorted
+    name order — the deterministic whole-root merge ``campaign report``
+    aggregates.
+    """
+    if dirs is None:
+        dirs = [os.path.join(root, name) for name in campaign_dirs(root)]
+    return iter_merged_records(dirs)
+
+
+def iter_merged_rows(dirs):
+    """Yield ``(campaign, key, row)`` scalar rows across campaigns.
+
+    The ``row`` is each winning record's scalar-row dict (see
+    :mod:`repro.analysis.export` for the schema); records without one
+    (foreign JSONL) are skipped.  Series are decoded as part of the
+    record's JSON line but never retained — the constant-memory
+    aggregation path (:mod:`repro.analysis.streaming`) holds only
+    per-group sketches on top of this iterator.
+    """
+    for campaign, key, record in iter_merged_records(dirs):
+        row = record.get("row")
+        if isinstance(row, dict):
+            yield campaign, key, row

@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``):
     python -m repro.experiments.cli campaign ls
     python -m repro.experiments.cli campaign gc --apply
     python -m repro.experiments.cli campaign export --format csv --out all.csv
+    python -m repro.experiments.cli campaign report --root campaigns
+    python -m repro.experiments.cli campaign compare old-root new-root
 
 The sweep subcommands are campaigns (:mod:`repro.campaign`): they shard
 cells across ``--processes`` workers (default: REPRO_PROCESSES env, then
@@ -29,9 +31,15 @@ byte-identically instead of simulated (``--no-dedup`` opts out).
 pending cells into a private worker stream, so independent processes or
 machines sharing the store directory sweep one campaign concurrently.
 ``campaign ls``/``gc``/``export`` manage store directories (survey,
-compact + repair, merged CSV/JSONL export).  Each subcommand prints its
-artefact to stdout (progress goes to stderr); ``--json FILE``
-additionally dumps the raw rows/series for downstream plotting.
+compact + repair, streaming merged CSV/JSONL export), ``campaign
+report`` renders a self-contained static HTML report over a store root
+(constant-memory aggregation; :mod:`repro.analysis.report`), and
+``campaign compare`` diffs two roots with automatic regression flagging
+(non-zero exit — the CI hook).  Each subcommand prints its artefact to
+stdout (progress goes to stderr); ``--json FILE`` additionally dumps the
+raw rows/series for downstream plotting.
+
+The full reference with worked examples is ``docs/cli.md``.
 """
 
 import argparse
@@ -39,8 +47,10 @@ import json
 import os
 import sys
 
+from repro.analysis import report as analysis_report
 from repro.campaign import gc as store_gc
 from repro.campaign import paper
+from repro.campaign import rows as store_rows
 from repro.campaign.executor import run_campaign
 from repro.campaign.index import campaign_dirs
 from repro.campaign.spec import CampaignSpec
@@ -84,15 +94,26 @@ def _add_dedup_arguments(parser):
     )
 
 
+#: ``--help`` footer on the parser and every subcommand: the worked
+#: examples live in the docs tree, not in the terminal.
+DOCS_EPILOG = "Full reference with worked examples: docs/cli.md"
+
+
 def build_parser():
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the DATE 2020 social-insect RTM evaluation.",
+        epilog=DOCS_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="one simulation run")
+    def subparser(name, **kwargs):
+        # Every subcommand's --help ends by pointing at docs/cli.md.
+        kwargs.setdefault("epilog", DOCS_EPILOG)
+        return sub.add_parser(name, **kwargs)
+
+    run_p = subparser("run", help="one simulation run")
     run_p.add_argument("--model", default="ffw")
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--faults", type=int, default=0)
@@ -116,24 +137,24 @@ def build_parser():
     )
     run_p.add_argument("--json", metavar="FILE")
 
-    t1_p = sub.add_parser("table1", help="settling/performance, no faults")
+    t1_p = subparser("table1", help="settling/performance, no faults")
     t1_p.add_argument("--runs", type=int, default=15)
     _add_sweep_arguments(t1_p, "table1")
     t1_p.add_argument("--json", metavar="FILE")
 
-    t2_p = sub.add_parser("table2", help="recovery/performance vs faults")
+    t2_p = subparser("table2", help="recovery/performance vs faults")
     t2_p.add_argument("--runs", type=int, default=15)
     t2_p.add_argument("--faults", default="0,2,4,8,16,32",
                       help="comma-separated fault counts")
     _add_sweep_arguments(t2_p, "table2")
     t2_p.add_argument("--json", metavar="FILE")
 
-    f4_p = sub.add_parser("figure4", help="time-series panels")
+    f4_p = subparser("figure4", help="time-series panels")
     f4_p.add_argument("--seed", type=int, default=42)
     _add_sweep_arguments(f4_p, "figure4")
     f4_p.add_argument("--json", metavar="FILE")
 
-    s_p = sub.add_parser(
+    s_p = subparser(
         "scenario",
         help="validate a JSON fault scenario and print its schedule + key",
     )
@@ -145,7 +166,7 @@ def build_parser():
                      help="seed used to preview hazard-storm draws")
     s_p.add_argument("--json", metavar="FILE")
 
-    w_p = sub.add_parser(
+    w_p = subparser(
         "workload",
         help="validate a JSON workload spec and print its graph + "
              "capacity preview",
@@ -157,7 +178,7 @@ def build_parser():
                           "of full Centurion")
     w_p.add_argument("--json", metavar="FILE")
 
-    c_p = sub.add_parser(
+    c_p = subparser(
         "campaign", help="run a declarative sweep with a persistent store"
     )
     source = c_p.add_mutually_exclusive_group(required=True)
@@ -208,14 +229,14 @@ def build_parser():
                 DEFAULT_CAMPAIGN_ROOT),
         )
 
-    ls_p = sub.add_parser(
+    ls_p = subparser(
         "campaign-ls",
         help="survey campaign store directories (alias: campaign ls)",
     )
     _add_manage_arguments(ls_p)
     ls_p.add_argument("--json", metavar="FILE")
 
-    gc_p = sub.add_parser(
+    gc_p = subparser(
         "campaign-gc",
         help="compact campaign stores — dry-run by default "
              "(alias: campaign gc)",
@@ -232,7 +253,7 @@ def build_parser():
              "orphaned/superseded/torn lines, rebuild the root index",
     )
 
-    ex_p = sub.add_parser(
+    ex_p = subparser(
         "campaign-export",
         help="export merged rows across campaigns "
              "(alias: campaign export)",
@@ -247,6 +268,45 @@ def build_parser():
         "--out", metavar="FILE", default=None,
         help="output file (default: stdout)",
     )
+
+    rp_p = subparser(
+        "campaign-report",
+        help="render a self-contained static HTML report over a store "
+             "root (alias: campaign report)",
+    )
+    _add_manage_arguments(rp_p)
+    rp_p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="report output directory (default: <root>/report)",
+    )
+    rp_p.add_argument(
+        "--title", default=None,
+        help="page title (default: derived from the root's name)",
+    )
+    rp_p.add_argument("--json", metavar="FILE")
+
+    cp_p = subparser(
+        "campaign-compare",
+        help="diff two store roots and flag regressions — exits "
+             "non-zero when any metric regressed "
+             "(alias: campaign compare)",
+    )
+    cp_p.add_argument(
+        "baseline", metavar="BASELINE",
+        help="baseline store root (or single campaign directory)",
+    )
+    cp_p.add_argument(
+        "candidate", metavar="CANDIDATE",
+        help="candidate store root to judge against the baseline",
+    )
+    cp_p.add_argument(
+        "--threshold", type=float,
+        default=analysis_report.DEFAULT_THRESHOLD, metavar="FRACTION",
+        help="relative change in a metric's worse direction that flags "
+             "a regression (default: {})".format(
+                 analysis_report.DEFAULT_THRESHOLD),
+    )
+    cp_p.add_argument("--json", metavar="FILE")
 
     return parser
 
@@ -606,18 +666,74 @@ def cmd_campaign_gc(args):
 
 
 def cmd_campaign_export(args):
-    """``campaign export``: merged rows across campaign directories."""
-    merged = store_gc.merged_records(_manage_dirs(args))
-    writer = (store_gc.export_csv if args.format == "csv"
-              else store_gc.export_jsonl)
+    """``campaign export``: merged rows across campaign directories.
+
+    Streams — the merged-record iterator yields one record at a time
+    and the writers hold none, so a sweep-scale root exports in O(keys)
+    memory.  CSV runs a header-discovery pass first (the column union
+    must be known before the first row is written).
+    """
+    dirs = _manage_dirs(args)
+    if args.format == "csv":
+        columns = store_gc.csv_columns(dirs)
+
+        def writer(stream):
+            return store_gc.export_csv(
+                store_rows.iter_merged_records(dirs), stream,
+                columns=columns,
+            )
+    else:
+        def writer(stream):
+            return store_gc.export_jsonl(
+                store_rows.iter_merged_records(dirs), stream
+            )
     if args.out:
         with open(args.out, "w") as stream:
-            count = writer(merged, stream)
+            count = writer(stream)
         print("exported {} rows to {}".format(count, args.out),
               file=sys.stderr)
     else:
-        writer(merged, sys.stdout)
+        writer(sys.stdout)
     return 0
+
+
+def cmd_campaign_report(args):
+    """``campaign report``: static HTML + JSON summary over a root.
+
+    Aggregates the root's merged rows in one streaming pass (O(groups)
+    memory) and writes ``index.html`` (self-contained: inline CSS and
+    SVG, zero external assets) plus ``summary.json`` next to it.
+    Prints the HTML path; ``--json`` additionally dumps the aggregate
+    summary payload.
+    """
+    html_path = analysis_report.write_report(
+        args.root, out_dir=args.out, dirs=args.dirs or None,
+        title=args.title,
+    )
+    print(html_path)
+    if args.json:
+        summary_path = os.path.join(
+            os.path.dirname(html_path), analysis_report.REPORT_JSON
+        )
+        with open(summary_path) as handle:
+            _dump_json(args.json, json.load(handle))
+    return 0
+
+
+def cmd_campaign_compare(args):
+    """``campaign compare``: regression gate between two store roots.
+
+    Prints the verdict (every flagged group × metric, then OK/FAIL) and
+    returns exit code 1 when any metric regressed beyond ``--threshold``
+    or a baseline group vanished — the CI hook between campaign
+    generations.
+    """
+    comparison = analysis_report.compare(
+        args.baseline, args.candidate, threshold=args.threshold
+    )
+    print(analysis_report.format_comparison(comparison))
+    _dump_json(args.json, comparison.as_dict())
+    return 0 if comparison.ok() else 1
 
 
 COMMANDS = {
@@ -631,10 +747,12 @@ COMMANDS = {
     "campaign-ls": cmd_campaign_ls,
     "campaign-gc": cmd_campaign_gc,
     "campaign-export": cmd_campaign_export,
+    "campaign-report": cmd_campaign_report,
+    "campaign-compare": cmd_campaign_compare,
 }
 
 #: ``campaign <action>`` spellings routed to ``campaign-<action>``.
-MANAGE_ACTIONS = ("ls", "gc", "export")
+MANAGE_ACTIONS = ("ls", "gc", "export", "report", "compare")
 
 
 def main(argv=None):
@@ -642,9 +760,9 @@ def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # `campaign ls/gc/export DIR...` is sugar for the campaign-<action>
-    # subcommands (argparse cannot mix `campaign --spec ...` with real
-    # nested subparsers).
+    # `campaign ls/gc/export/report/compare ...` is sugar for the
+    # campaign-<action> subcommands (argparse cannot mix
+    # `campaign --spec ...` with real nested subparsers).
     if (
         len(argv) > 1
         and argv[0] == "campaign"

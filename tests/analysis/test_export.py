@@ -60,3 +60,14 @@ def test_results_to_json_without_series(result, tmp_path):
     results_to_json([result], path, include_series=False)
     loaded = load_results_json(path)
     assert "series" not in loaded[0]
+
+
+def test_export_module_doctests_pass():
+    """The row-schema docstrings carry a live round-trip example."""
+    import doctest
+
+    from repro.analysis import export
+
+    outcome = doctest.testmod(export)
+    assert outcome.attempted > 0
+    assert outcome.failed == 0

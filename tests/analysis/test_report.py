@@ -1,0 +1,198 @@
+"""Report rendering and cross-campaign regression comparison.
+
+Pins the deliverable contracts of :mod:`repro.analysis.report`: the
+static page is self-contained and rebuilds byte-identically, the
+comparison flags exactly the moves that are worse-beyond-threshold in
+each metric's own direction, vanished baseline groups fail the gate,
+and ``write_report`` emits both artefacts over a real store root.
+"""
+
+import json
+import os
+
+from repro.analysis.report import (
+    BETTER_DIRECTION,
+    DEFAULT_THRESHOLD,
+    REPORT_HTML,
+    REPORT_JSON,
+    compare,
+    compare_aggregates,
+    format_comparison,
+    render_html,
+    write_report,
+)
+from repro.analysis.streaming import RootAggregate
+from repro.campaign.store import encode_line
+
+
+def make_row(model="none", faults=0, settling=10.0, performance=3.0,
+             recovery=5.0, **extra):
+    """A synthetic scalar row covering every metric column."""
+    row = {
+        "model": model,
+        "seed": 1,
+        "faults": faults,
+        "settling_time_ms": settling,
+        "settled_performance": performance,
+        "recovery_time_ms": recovery,
+        "recovered_performance": performance,
+        "total_switches": 2,
+    }
+    row.update(extra)
+    return row
+
+
+def aggregate_of(rows):
+    """A RootAggregate over synthetic rows (one campaign)."""
+    aggregate = RootAggregate()
+    for row in rows:
+        aggregate.add_row(row, campaign="camp")
+    return aggregate
+
+
+def write_store(directory, records):
+    """A minimal campaign directory holding canonical record lines."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "results.jsonl"), "w") as handle:
+        for record in records:
+            handle.write(encode_line(record))
+            handle.write("\n")
+
+
+def store_records(rows):
+    """Record wrappers for synthetic rows (key = position)."""
+    return [
+        {"key": "cell-{}".format(i), "row": row}
+        for i, row in enumerate(rows)
+    ]
+
+
+def test_render_html_bit_identical_and_self_contained():
+    rows = [
+        make_row("none", 0), make_row("ffw", 0, settling=8.0),
+        make_row("ffw", 4, recovery=9.0, throttle_events=3),
+    ]
+    first = render_html(aggregate_of(rows), title="t")
+    second = render_html(aggregate_of(rows), title="t")
+    assert first == second
+    assert first.startswith("<!DOCTYPE html>")
+    for marker in ("<script", "<link", "src="):
+        assert marker not in first
+    assert "<svg" in first
+    assert "throttle_events" in first  # nonzero dynamics surface
+    assert "ffw" in first and "none" in first
+
+
+def test_render_html_omits_quiet_dynamics_and_single_axes():
+    rows = [make_row("none", 0), make_row("none", 0, settling=12.0)]
+    page = render_html(aggregate_of(rows))
+    assert "throttle_events" not in page
+    # One model, one family, one workload: no per-axis breakdowns.
+    assert "By model" not in page and "By family" not in page
+
+
+def test_compare_flags_only_worse_beyond_threshold():
+    baseline = aggregate_of([make_row("none", 0)])
+    worse = aggregate_of(
+        [make_row("none", 0, settling=12.0, performance=3.0)]
+    )
+    comparison = compare_aggregates(baseline, worse, threshold=0.05)
+    flagged = {(d.group, d.metric) for d in comparison.regressions()}
+    # settling_time_ms rose 20% (lower-is-better): flagged; the equal
+    # performance metrics and recovery are not.
+    assert flagged == {(("none", "faults=0", "-"), "settling_time_ms")}
+    assert not comparison.ok()
+
+    better = aggregate_of(
+        [make_row("none", 0, settling=5.0, performance=4.0)]
+    )
+    improvement = compare_aggregates(baseline, better, threshold=0.05)
+    assert improvement.ok()
+    assert improvement.regressions() == []
+
+    slight = aggregate_of([make_row("none", 0, settling=10.2)])
+    within = compare_aggregates(baseline, slight, threshold=0.05)
+    assert within.ok()
+
+
+def test_compare_direction_higher_is_better():
+    baseline = aggregate_of([make_row("none", 0, performance=4.0)])
+    dropped = aggregate_of([make_row("none", 0, performance=3.0)])
+    comparison = compare_aggregates(baseline, dropped, threshold=0.05)
+    metrics = {d.metric for d in comparison.regressions()}
+    assert "settled_performance" in metrics
+    assert "recovered_performance" in metrics
+
+
+def test_missing_baseline_group_fails_added_group_does_not():
+    baseline = aggregate_of([make_row("none", 0), make_row("ffw", 0)])
+    shrunk = aggregate_of([make_row("none", 0)])
+    comparison = compare_aggregates(baseline, shrunk)
+    assert comparison.missing == [("ffw", "faults=0", "-")]
+    assert not comparison.ok()
+
+    grown = aggregate_of(
+        [make_row("none", 0), make_row("ffw", 0), make_row("ni", 0)]
+    )
+    comparison = compare_aggregates(baseline, grown)
+    assert comparison.added == [("ni", "faults=0", "-")]
+    assert comparison.ok()
+
+
+def test_zero_baseline_mean_is_tolerated():
+    baseline = aggregate_of([make_row("none", 0, recovery=0.0)])
+    candidate = aggregate_of([make_row("none", 0, recovery=3.0)])
+    comparison = compare_aggregates(baseline, candidate)
+    flagged = [d for d in comparison.regressions()
+               if d.metric == "recovery_time_ms"]
+    assert len(flagged) == 1 and flagged[0].relative == float("inf")
+
+
+def test_format_comparison_verdict_lines():
+    baseline = aggregate_of([make_row("none", 0)])
+    text = format_comparison(
+        compare_aggregates(baseline, baseline)
+    )
+    assert text.endswith("OK — no regressions")
+    worse = aggregate_of([make_row("none", 0, settling=20.0)])
+    text = format_comparison(compare_aggregates(baseline, worse))
+    assert "REGRESSION" in text
+    assert text.splitlines()[-1].startswith("FAIL")
+
+
+def test_write_report_and_compare_over_store_roots(tmp_path):
+    rows = [make_row("none", 0), make_row("ffw", 4, recovery=9.0)]
+    root = tmp_path / "root"
+    write_store(str(root / "camp"), store_records(rows))
+    html_path = write_report(str(root))
+    assert html_path == str(root / "report" / REPORT_HTML)
+    page = open(html_path).read()
+    assert "ffw" in page and "none" in page
+    summary = json.load(open(str(root / "report" / REPORT_JSON)))
+    assert summary["rows"] == 2
+    assert [g["model"] for g in summary["groups"]] == ["ffw", "none"]
+
+    # Byte-identical on rebuild.
+    write_report(str(root))
+    assert open(html_path).read() == page
+
+    # Self-compare over the same on-disk root is clean...
+    assert compare(str(root), str(root)).ok()
+    # ...and a candidate with a degraded metric is flagged.
+    worse_rows = [make_row("none", 0),
+                  make_row("ffw", 4, recovery=20.0)]
+    worse_root = tmp_path / "worse"
+    write_store(str(worse_root / "camp"), store_records(worse_rows))
+    comparison = compare(str(root), str(worse_root),
+                         threshold=DEFAULT_THRESHOLD)
+    assert not comparison.ok()
+    assert comparison.as_dict()["ok"] is False
+
+
+def test_better_direction_covers_clock_and_performance_metrics():
+    assert BETTER_DIRECTION == {
+        "settling_time_ms": "lower",
+        "settled_performance": "higher",
+        "recovery_time_ms": "lower",
+        "recovered_performance": "higher",
+    }

@@ -1,0 +1,217 @@
+"""Streaming aggregation: sketch accuracy, grouping, O(groups) reads.
+
+The quantile sketch is the only approximate piece of the analysis
+layer, so it gets the property treatment: exactness below the bin
+bound, range/monotonicity invariants on arbitrary streams, and a
+large-``n`` accuracy check against exact order statistics.  The
+aggregate tests pin the group-key rules, the only-when-nonzero
+dynamics contract, the count-weighted rollups, and that aggregation
+consumes a one-shot iterator (nothing is materialised or re-read).
+"""
+
+import math
+import random
+import statistics
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import (
+    DYNAMICS_COLUMNS,
+    METRIC_COLUMNS,
+    RootAggregate,
+    StreamingHistogram,
+    StreamStats,
+    group_key,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def exact_quantile(data, fraction):
+    """Nearest-rank quantile of a sorted list."""
+    return data[min(len(data) - 1, int(fraction * len(data)))]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_sketch_quantiles_within_range_and_monotone(data):
+    sketch = StreamingHistogram(max_bins=16)
+    for value in data:
+        sketch.add(value)
+    low, high = min(data), max(data)
+    eps = 1e-9 * max(1.0, abs(low), abs(high))
+    quantiles = [sketch.quantile(q) for q in (0.0, 0.5, 0.95, 0.99, 1.0)]
+    for estimate in quantiles:
+        assert low - eps <= estimate <= high + eps
+    for earlier, later in zip(quantiles, quantiles[1:]):
+        assert later >= earlier - eps
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(finite_floats, min_size=1, max_size=32, unique=True))
+def test_sketch_exact_below_max_bins(data):
+    sketch = StreamingHistogram(max_bins=64)
+    for value in data:
+        sketch.add(value)
+    ordered = sorted(data)
+    eps = 1e-9 * max(1.0, abs(ordered[0]), abs(ordered[-1]))
+    for fraction in (0.25, 0.5, 0.75, 0.95):
+        estimate = sketch.quantile(fraction)
+        # Exact storage (every unique sample its own centroid): the
+        # midpoint-rank estimate interpolates between adjacent order
+        # statistics, so it is bracketed by the rank's neighbours
+        # (within interpolation rounding).
+        rank = fraction * len(ordered)
+        low = ordered[max(0, min(len(ordered) - 1, int(rank) - 1))]
+        high = ordered[min(len(ordered) - 1, int(rank) + 1)]
+        assert low - eps <= estimate <= high + eps
+
+
+def test_sketch_accuracy_large_uniform_stream():
+    rng = random.Random(42)
+    data = [rng.random() for _ in range(20000)]
+    sketch = StreamingHistogram(max_bins=64)
+    for value in data:
+        sketch.add(value)
+    data.sort()
+    for fraction in (0.5, 0.95, 0.99):
+        estimate = sketch.quantile(fraction)
+        assert abs(estimate - exact_quantile(data, fraction)) < 0.02
+
+
+def test_sketch_bins_bounded_and_deterministic():
+    first = StreamingHistogram(max_bins=8)
+    second = StreamingHistogram(max_bins=8)
+    values = [math.sin(i) * 100 for i in range(1000)]
+    for value in values:
+        first.add(value)
+        second.add(value)
+    assert len(first) <= 8
+    assert first._values == second._values
+    assert first._counts == second._counts
+
+
+def test_stream_stats_match_statistics_module():
+    rng = random.Random(7)
+    data = [rng.gauss(10.0, 3.0) for _ in range(500)]
+    stats = StreamStats()
+    for value in data:
+        stats.add(value)
+    assert stats.count == len(data)
+    assert math.isclose(stats.mean, statistics.fmean(data),
+                        rel_tol=1e-12)
+    assert math.isclose(stats.variance, statistics.variance(data),
+                        rel_tol=1e-9)
+    assert stats.minimum == min(data)
+    assert stats.maximum == max(data)
+    summary = stats.summary()
+    assert set(summary) == {"count", "mean", "min", "max",
+                            "p50", "p95", "p99"}
+
+
+def test_group_key_rules():
+    assert group_key({"model": "ffw", "faults": 8}) == (
+        "ffw", "faults=8", "-"
+    )
+    assert group_key(
+        {"model": "none", "faults": 2, "scenario": "storm"}
+    ) == ("none", "storm", "-")
+    assert group_key(
+        {"model": "ni", "faults": 0, "workload": "pipeline3"}
+    ) == ("ni", "faults=0", "pipeline3")
+
+
+def make_row(model="none", faults=0, value=1.0, **extra):
+    """A synthetic scalar row covering every metric column."""
+    row = {
+        "model": model,
+        "seed": 1,
+        "faults": faults,
+        "settling_time_ms": value,
+        "settled_performance": value * 2,
+        "recovery_time_ms": value * 3,
+        "recovered_performance": value * 4,
+        "total_switches": int(value),
+    }
+    row.update(extra)
+    return row
+
+
+def test_aggregate_groups_and_dynamics_only_when_nonzero():
+    aggregate = RootAggregate()
+    aggregate.add_row(make_row("none", 0, 1.0), campaign="a")
+    aggregate.add_row(make_row("none", 0, 3.0), campaign="b")
+    aggregate.add_row(
+        make_row("ffw", 4, 2.0, throttle_events=5), campaign="a"
+    )
+    assert aggregate.rows == 3
+    assert set(aggregate.groups) == {
+        ("none", "faults=0", "-"), ("ffw", "faults=4", "-"),
+    }
+    quiet = aggregate.groups[("none", "faults=0", "-")]
+    loud = aggregate.groups[("ffw", "faults=4", "-")]
+    assert quiet.metrics["settling_time_ms"].mean == 2.0
+    assert "dynamics" not in quiet.summary()
+    assert loud.summary()["dynamics"] == {"throttle_events": 5}
+    assert quiet.campaigns == {"a", "b"}
+    summary = aggregate.summary()
+    assert summary["rows"] == 3
+    assert [g["model"] for g in summary["groups"]] == ["ffw", "none"]
+
+
+def test_axis_rollup_weights_by_row_count():
+    aggregate = RootAggregate()
+    for _ in range(3):
+        aggregate.add_row(make_row("none", 0, 1.0))
+    aggregate.add_row(make_row("none", 4, 5.0))
+    rollup = aggregate.axis_rollup(0)
+    # (3*1.0 + 1*5.0) / 4 — weighted by rows, not averaged per group.
+    assert rollup["none"]["rows"] == 4
+    assert math.isclose(rollup["none"]["means"]["settling_time_ms"], 2.0)
+
+
+def test_matrix_has_none_holes():
+    aggregate = RootAggregate()
+    aggregate.add_row(make_row("none", 0, 1.0))
+    aggregate.add_row(make_row("ffw", 4, 2.0))
+    rows, cols, cells = aggregate.matrix("settling_time_ms")
+    assert rows == ["ffw", "none"]
+    assert cols == ["faults=0", "faults=4"]
+    assert cells[0][0] is None and cells[1][1] is None
+    assert cells[1][0] == 1.0 and cells[0][1] == 2.0
+
+
+def test_consume_drains_a_one_shot_iterator():
+    def one_shot():
+        for i in range(100):
+            yield ("camp", "key{}".format(i), make_row("none", 0, float(i)))
+
+    triples = one_shot()
+    aggregate = RootAggregate().consume(triples)
+    assert aggregate.rows == 100
+    # The iterator is exhausted — nothing buffered it for a second pass.
+    assert next(triples, None) is None
+    assert aggregate.groups[("none", "faults=0", "-")].rows == 100
+
+
+def test_missing_metric_values_are_skipped_not_zeroed():
+    aggregate = RootAggregate()
+    row = make_row("none", 0, 4.0)
+    del row["recovery_time_ms"]
+    aggregate.add_row(row)
+    group = aggregate.groups[("none", "faults=0", "-")]
+    assert group.metrics["recovery_time_ms"].count == 0
+    assert group.metrics["settling_time_ms"].count == 1
+
+
+def test_metric_and_dynamics_column_contract():
+    assert METRIC_COLUMNS == (
+        "settling_time_ms", "settled_performance", "recovery_time_ms",
+        "recovered_performance", "total_switches",
+    )
+    assert DYNAMICS_COLUMNS == (
+        "throttle_events", "autonomous_recoveries", "deadlock_drops",
+    )

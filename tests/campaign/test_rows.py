@@ -1,0 +1,241 @@
+"""Streaming row iterator: same merge as the materialised surface.
+
+``repro.campaign.rows`` promises the exact merge semantics of
+``gc.load_records``/``merged_records`` — main stream before worker
+shards, last write per key wins, first-seen key order, first campaign
+holding a key wins across directories — while holding only keys and
+byte offsets.  These tests pin that equivalence (including under
+hypothesis-driven duplicate/torn/shard streams), the never-lie rule for
+files rewritten underneath a running iteration, and the streaming
+export paths built on top.
+"""
+
+import io
+import json
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.gc import (
+    csv_columns,
+    export_csv,
+    export_jsonl,
+    merged_records,
+)
+from repro.campaign.rows import (
+    iter_campaign_records,
+    iter_merged_records,
+    iter_merged_rows,
+    iter_root_records,
+)
+from repro.campaign.store import encode_line, worker_results_file
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+pool_keys = st.sampled_from(["k{:02d}".format(i) for i in range(6)])
+values = st.integers(min_value=-10**6, max_value=10**6)
+
+
+def make_record(key, value=0):
+    """A minimal record with a scalar row (the decode paths accept it)."""
+    return {
+        "key": key,
+        "model": "none",
+        "seed": 1,
+        "faults": 0,
+        "row": {
+            "model": "none",
+            "seed": 1,
+            "faults": 0,
+            "settling_time_ms": float(value),
+            "settled_performance": float(value),
+            "recovery_time_ms": 0.0,
+            "recovered_performance": float(value),
+            "total_switches": value,
+        },
+    }
+
+
+def write_stream(path, records, tail=""):
+    """Write canonical record lines (plus an optional raw tail)."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(encode_line(record))
+            handle.write("\n")
+        handle.write(tail)
+
+
+def make_store(directory, records, workers=(), tail=""):
+    """Build a campaign dir: main stream + optional worker shards."""
+    os.makedirs(directory, exist_ok=True)
+    write_stream(
+        os.path.join(directory, "results.jsonl"), records, tail=tail
+    )
+    for worker_id, shard in workers:
+        write_stream(
+            os.path.join(directory, worker_results_file(worker_id)), shard
+        )
+    return directory
+
+
+def test_single_campaign_last_write_wins(tmp_path):
+    store = make_store(
+        str(tmp_path / "camp"),
+        [make_record("a", 1), make_record("b", 2), make_record("a", 3)],
+    )
+    got = list(iter_campaign_records(store))
+    assert [key for key, _ in got] == ["a", "b"]
+    assert got[0][1]["row"]["total_switches"] == 3
+
+
+def test_worker_streams_merge_after_main(tmp_path):
+    store = make_store(
+        str(tmp_path / "camp"),
+        [make_record("a", 1)],
+        workers=[(1, [make_record("a", 9), make_record("c", 5)]),
+                 (0, [make_record("b", 4)])],
+    )
+    got = dict(iter_campaign_records(store))
+    # Worker streams are read after main in sorted shard order: the
+    # worker-1 rewrite of "a" supersedes the main line.
+    assert got["a"]["row"]["total_switches"] == 9
+    assert set(got) == {"a", "b", "c"}
+
+
+def test_torn_and_keyless_lines_skipped(tmp_path):
+    store = make_store(
+        str(tmp_path / "camp"),
+        [make_record("a", 1)],
+        tail='{"no": "key"}\n[1, 2]\n{"key": "torn", "row"',
+    )
+    assert [key for key, _ in iter_campaign_records(store)] == ["a"]
+
+
+def test_first_campaign_wins_across_dirs(tmp_path):
+    first = make_store(
+        str(tmp_path / "alpha"), [make_record("a", 1), make_record("b", 2)]
+    )
+    second = make_store(
+        str(tmp_path / "beta"), [make_record("b", 9), make_record("c", 3)]
+    )
+    got = list(iter_merged_records([first, second]))
+    assert [(campaign, key) for campaign, key, _ in got] == [
+        ("alpha", "a"), ("alpha", "b"), ("beta", "c"),
+    ]
+    by_key = {key: record for _, key, record in got}
+    assert by_key["b"]["row"]["total_switches"] == 2
+
+
+def test_rewritten_file_yields_skip_never_wrong_data(tmp_path):
+    store = make_store(
+        str(tmp_path / "camp"),
+        [make_record("a", 1), make_record("b", 2), make_record("c", 3)],
+    )
+    iterator = iter_campaign_records(store)
+    first = next(iterator)
+    assert first[0] == "a"
+    # Rewrite the stream in place (same inode): the remaining winners'
+    # offsets now point at other bytes — they must be skipped, never
+    # yielded as another cell's data.
+    write_stream(
+        os.path.join(store, "results.jsonl"), [make_record("zzz", 99)]
+    )
+    rest = list(iterator)
+    for key, record in rest:
+        assert record.get("key") == key
+
+
+def test_iter_root_records_defaults_to_sorted_campaigns(tmp_path):
+    make_store(str(tmp_path / "bbb"), [make_record("b", 2)])
+    make_store(str(tmp_path / "aaa"), [make_record("a", 1)])
+    got = list(iter_root_records(str(tmp_path)))
+    assert [campaign for campaign, _, _ in got] == ["aaa", "bbb"]
+
+
+def test_iter_merged_rows_skips_rowless_records(tmp_path):
+    record = make_record("a", 1)
+    bare = {"key": "bare", "model": "none"}
+    store = str(tmp_path / "camp")
+    os.makedirs(store)
+    with open(os.path.join(store, "results.jsonl"), "w") as handle:
+        handle.write(encode_line(record) + "\n")
+        handle.write(encode_line(bare) + "\n")
+    rows = list(iter_merged_rows([store]))
+    assert [(campaign, key) for campaign, key, _ in rows] == [
+        ("camp", "a")
+    ]
+    assert rows[0][2] == record["row"]
+
+
+@SETTINGS
+@given(
+    main_a=st.lists(st.tuples(pool_keys, values), max_size=8),
+    shard_a=st.lists(st.tuples(pool_keys, values), max_size=5),
+    main_b=st.lists(st.tuples(pool_keys, values), max_size=8),
+)
+def test_streaming_merge_equals_materialised(tmp_path_factory, main_a,
+                                             shard_a, main_b):
+    base = str(tmp_path_factory.mktemp("rows"))
+    dirs = [
+        make_store(
+            os.path.join(base, "alpha"),
+            [make_record(k, v) for k, v in main_a],
+            workers=[(0, [make_record(k, v) for k, v in shard_a])],
+        ),
+        make_store(
+            os.path.join(base, "beta"),
+            [make_record(k, v) for k, v in main_b],
+        ),
+    ]
+    legacy = merged_records(dirs)
+    streamed = list(iter_merged_records(dirs))
+    assert [key for _, key, _ in streamed] == list(legacy)
+    for campaign, key, record in streamed:
+        assert legacy[key] == (campaign, record)
+
+
+def test_streaming_exports_match_materialised(tmp_path):
+    dirs = [
+        make_store(
+            str(tmp_path / "alpha"),
+            [make_record("a", 1), make_record("b", 2)],
+        ),
+        make_store(str(tmp_path / "beta"), [make_record("c", 3)]),
+    ]
+    legacy_jsonl, streamed_jsonl = io.StringIO(), io.StringIO()
+    assert export_jsonl(merged_records(dirs), legacy_jsonl) == 3
+    assert export_jsonl(iter_merged_records(dirs), streamed_jsonl) == 3
+    assert streamed_jsonl.getvalue() == legacy_jsonl.getvalue()
+
+    columns = csv_columns(dirs)
+    legacy_csv, streamed_csv = io.StringIO(), io.StringIO()
+    export_csv(merged_records(dirs), legacy_csv)
+    export_csv(iter_merged_records(dirs), streamed_csv, columns=columns)
+    assert streamed_csv.getvalue() == legacy_csv.getvalue()
+
+
+def test_streaming_csv_requires_columns(tmp_path):
+    store = make_store(str(tmp_path / "camp"), [make_record("a", 1)])
+    try:
+        export_csv(iter_merged_records([store]), io.StringIO())
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("columns-less streaming export must raise")
+
+
+def test_exported_jsonl_lines_byte_identical_to_store(tmp_path):
+    records = [make_record("a", 1), make_record("b", 2)]
+    store = make_store(str(tmp_path / "camp"), records)
+    sink = io.StringIO()
+    export_jsonl(iter_merged_records([store]), sink)
+    expected = "".join(encode_line(r) + "\n" for r in records)
+    assert sink.getvalue() == expected
+    # And they parse back to the exact records.
+    parsed = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert parsed == records

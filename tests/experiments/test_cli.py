@@ -241,3 +241,98 @@ def test_campaign_fresh_recomputes(capsys, tmp_path):
     capsys.readouterr()
     assert main(base + ["--fresh"]) == 0
     assert "8 executed, 0 cached" in capsys.readouterr().err
+
+
+def _write_synthetic_root(root, perf=3.0):
+    """A store root with one campaign of hand-written record lines."""
+    import os
+
+    from repro.campaign.store import encode_line
+
+    directory = os.path.join(str(root), "camp")
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "results.jsonl"), "w") as handle:
+        for i, model in enumerate(("none", "foraging_for_work")):
+            record = {"key": "cell-{}".format(i), "row": {
+                "model": model, "seed": i, "faults": 0,
+                "settling_time_ms": 10.0 + i,
+                "settled_performance": perf,
+                "recovery_time_ms": 5.0,
+                "recovered_performance": perf,
+                "total_switches": i,
+            }}
+            handle.write(encode_line(record) + "\n")
+    return str(root)
+
+
+def test_parser_report_and_compare_subcommands():
+    args = build_parser().parse_args(
+        ["campaign-report", "--root", "r", "--out", "site", "--title", "t"]
+    )
+    assert args.root == "r" and args.out == "site" and args.title == "t"
+    args = build_parser().parse_args(["campaign-compare", "old", "new"])
+    assert args.baseline == "old" and args.candidate == "new"
+    assert args.threshold == 0.05
+    args = build_parser().parse_args(
+        ["campaign-compare", "a", "b", "--threshold", "0.2"]
+    )
+    assert args.threshold == 0.2
+
+
+def test_every_subcommand_help_points_at_docs():
+    parser = build_parser()
+    assert "docs/cli.md" in parser.format_help()
+    sub_actions = [
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    ]
+    for name, sub in sub_actions[0].choices.items():
+        assert "docs/cli.md" in sub.format_help(), (
+            "{} --help does not point at docs/cli.md".format(name)
+        )
+
+
+def test_campaign_report_cli(capsys, tmp_path):
+    root = _write_synthetic_root(tmp_path / "root")
+    out = tmp_path / "json.out"
+    assert main(["campaign", "report", "--root", root,
+                 "--json", str(out)]) == 0
+    html_path = capsys.readouterr().out.strip()
+    page = open(html_path).read()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "foraging_for_work" in page and "none" in page
+    summary = json.loads(open(str(out)).read())
+    assert summary["rows"] == 2
+    # Re-running writes the byte-identical page.
+    assert main(["campaign", "report", "--root", root]) == 0
+    assert open(html_path).read() == page
+
+
+def test_campaign_compare_cli_exit_codes(capsys, tmp_path):
+    baseline = _write_synthetic_root(tmp_path / "base", perf=3.0)
+    same = _write_synthetic_root(tmp_path / "same", perf=3.0)
+    worse = _write_synthetic_root(tmp_path / "worse", perf=2.0)
+    assert main(["campaign", "compare", baseline, same]) == 0
+    assert capsys.readouterr().out.strip().endswith("OK — no regressions")
+    out = tmp_path / "cmp.json"
+    assert main(["campaign", "compare", baseline, worse,
+                 "--json", str(out)]) == 1
+    verdict = capsys.readouterr().out
+    assert "REGRESSION" in verdict and "FAIL" in verdict
+    payload = json.loads(open(str(out)).read())
+    assert payload["ok"] is False and payload["regressions"]
+
+
+def test_campaign_export_streams_csv_and_jsonl(capsys, tmp_path):
+    root = _write_synthetic_root(tmp_path / "root")
+    csv_out = tmp_path / "all.csv"
+    assert main(["campaign", "export", "--root", root, "--format", "csv",
+                 "--out", str(csv_out)]) == 0
+    lines = open(str(csv_out)).read().splitlines()
+    assert lines[0].startswith("campaign,key,model,seed,faults")
+    assert len(lines) == 3
+    capsys.readouterr()
+    assert main(["campaign", "export", "--root", root]) == 0
+    jsonl = capsys.readouterr().out.strip().splitlines()
+    assert len(jsonl) == 2
+    assert json.loads(jsonl[0])["key"] == "cell-0"

@@ -77,3 +77,36 @@ def test_public_function_documented(fn):
     assert fn.__doc__ and fn.__doc__.strip(), (
         "function {} lacks a docstring".format(fn.__qualname__)
     )
+
+
+def _load_link_checker():
+    import importlib.util
+    import os
+
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools", "check_doc_links.py",
+    )
+    spec = importlib.util.spec_from_file_location("check_doc_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    import os
+
+    checker = _load_link_checker()
+    names = {os.path.relpath(p, checker.REPO_ROOT)
+             for p in checker.doc_files()}
+    assert {"README.md", os.path.join("docs", "architecture.md"),
+            os.path.join("docs", "cli.md")} <= names
+
+
+def test_docs_relative_links_resolve():
+    checker = _load_link_checker()
+    dangling = {
+        path: checker.dangling_links(path)
+        for path in checker.doc_files()
+    }
+    assert all(not missing for missing in dangling.values()), dangling

@@ -1,0 +1,77 @@
+"""Docs link check: every relative markdown link must resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` for markdown links
+(``[text](target)``), skips external schemes (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#...``), and verifies each
+remaining target exists relative to the file that links it (dropping any
+``#fragment``).  Exits non-zero listing every dangling link — wired into
+``make lint`` so a moved file breaks the build, not the docs.
+
+Standard library only; run as ``python tools/check_doc_links.py`` from
+the repo root (or anywhere — paths are anchored to this file).
+"""
+
+import os
+import re
+import sys
+
+#: Repo root (this file lives in tools/).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown inline links: ``[text](target)``; images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not files to resolve.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    """The markdown files under the check: README.md + docs/*.md."""
+    paths = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        paths.append(readme)
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                paths.append(os.path.join(docs, name))
+    return paths
+
+
+def dangling_links(path):
+    """The unresolvable relative link targets of one markdown file."""
+    with open(path) as handle:
+        text = handle.read()
+    base = os.path.dirname(path)
+    missing = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = os.path.join(base, target.split("#", 1)[0])
+        if not os.path.exists(resolved):
+            missing.append(target)
+    return missing
+
+
+def main():
+    """Check every doc file; print dangling links and return 1 on any."""
+    files = doc_files()
+    if not files:
+        print("check_doc_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        rel = os.path.relpath(path, REPO_ROOT)
+        for target in dangling_links(path):
+            print("{}: dangling link -> {}".format(rel, target))
+            failures += 1
+    if failures:
+        print("{} dangling link(s)".format(failures), file=sys.stderr)
+        return 1
+    print("docs links ok ({} files)".format(len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
