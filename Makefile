@@ -69,5 +69,13 @@ examples-smoke:
 report-smoke:
 	$(PYTHON) -m benchmarks.harness --report-smoke
 
+# Sweep-daemon gate: boot `campaign serve` on an ephemeral port, submit
+# a 2x2 spec over HTTP (executes every cell), resubmit it and submit an
+# overlapping tenant (both must dedup to zero executed sims), check
+# /healthz, and shut down cleanly with the dedup index persisted.
+serve-smoke:
+	$(PYTHON) -m benchmarks.harness --serve-smoke
+
 .PHONY: test lint coverage bench bench-baseline campaign-smoke \
-	dynamics-smoke workload-smoke examples-smoke report-smoke
+	dynamics-smoke workload-smoke examples-smoke report-smoke \
+	serve-smoke

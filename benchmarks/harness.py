@@ -556,6 +556,117 @@ def check_report_smoke(smoke):
     return None
 
 
+def run_serve_smoke(models=("none", "foraging_for_work"), seeds=2):
+    """Sweep-daemon smoke over a real root; returns evidence.
+
+    Boots a :class:`~repro.campaign.serve.CampaignServer` on an
+    ephemeral port, submits a ``len(models)`` × ``seeds`` zero-fault
+    spec over HTTP (real simulations, small platform), resubmits the
+    same spec (must dedup to **zero** executed sims), submits an
+    overlapping second tenant (must dedup live through the shared
+    root), checks ``/healthz``, and shuts down cleanly (queues drained,
+    dedup index persisted).
+    """
+    import shutil
+
+    from repro.campaign.client import CampaignClient
+    from repro.campaign.index import INDEX_FILE
+    from repro.campaign.serve import CampaignServer
+
+    payload = {
+        "name": "serve-smoke",
+        "models": list(models),
+        "seeds": default_seeds(seeds, base=seed_base()),
+        "fault_counts": [0],
+        "base": "small",
+    }
+    tenant_payload = dict(payload, name="serve-smoke-tenant")
+    root = tempfile.mkdtemp(prefix="serve-smoke-")
+
+    def store_lines(name):
+        path = os.path.join(root, name, "results.jsonl")
+        with open(path, "rb") as handle:
+            return {
+                json.loads(line)["key"]: line for line in handle
+            }
+
+    try:
+        with CampaignServer(root, workers=2, port=0) as daemon:
+            client = CampaignClient(daemon.url)
+            health = client.healthz()
+            client.submit(payload)
+            first = client.wait(payload["name"], timeout=600.0)
+            client.submit(payload)
+            second = client.wait(payload["name"], timeout=600.0)
+            client.submit(tenant_payload)
+            tenant = client.wait(tenant_payload["name"], timeout=600.0)
+            identical = (
+                store_lines(payload["name"])
+                == store_lines(tenant_payload["name"])
+            )
+        return {
+            "cells": first.total,
+            "health_ok": health.get("status") == "ok",
+            "first_state": first.state,
+            "first_executed": first.executed,
+            "second_state": second.state,
+            "second_executed": second.executed,
+            "second_cached": second.cached,
+            "tenant_executed": tenant.executed,
+            "tenant_deduped": tenant.deduped,
+            "stores_identical": identical,
+            "index_persisted": os.path.exists(
+                os.path.join(root, INDEX_FILE)
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def check_serve_smoke(smoke):
+    """Failure message for a serve-smoke run, or ``None`` when passed."""
+    if not smoke["health_ok"]:
+        return "serve-smoke: /healthz did not report ok"
+    if smoke["first_state"] != "completed":
+        return "serve-smoke: first submission ended {!r}".format(
+            smoke["first_state"]
+        )
+    if smoke["first_executed"] != smoke["cells"]:
+        return (
+            "serve-smoke: first submission executed {} of {} "
+            "cells".format(smoke["first_executed"], smoke["cells"])
+        )
+    if smoke["second_executed"] != 0:
+        return (
+            "serve-smoke: resubmission re-executed {} cells "
+            "(expected 0)".format(smoke["second_executed"])
+        )
+    if smoke["second_cached"] != smoke["cells"]:
+        return (
+            "serve-smoke: resubmission cached {} of {} cells".format(
+                smoke["second_cached"], smoke["cells"]
+            )
+        )
+    if smoke["tenant_executed"] != 0:
+        return (
+            "serve-smoke: overlapping tenant executed {} cells "
+            "(expected 0 — live dedup)".format(smoke["tenant_executed"])
+        )
+    if smoke["tenant_deduped"] != smoke["cells"]:
+        return (
+            "serve-smoke: overlapping tenant deduped {} of {} "
+            "cells".format(smoke["tenant_deduped"], smoke["cells"])
+        )
+    if not smoke["stores_identical"]:
+        return (
+            "serve-smoke: tenant store lines are not byte-identical to "
+            "the first submission's"
+        )
+    if not smoke["index_persisted"]:
+        return "serve-smoke: shutdown did not persist the dedup index"
+    return None
+
+
 def run_examples_smoke():
     """Execute every ``examples/*.py`` script; returns name -> exit code.
 
@@ -736,16 +847,24 @@ def main(argv=None):
              "compare must flag an injected regression with a non-zero "
              "exit)",
     )
+    parser.add_argument(
+        "--serve-smoke", action="store_true",
+        help="run the sweep-daemon gate (ephemeral-port daemon, HTTP "
+             "submission executes the grid, resubmission and an "
+             "overlapping tenant dedup to zero executed sims, clean "
+             "shutdown persists the index)",
+    )
     args = parser.parse_args(argv)
     requested = (
         args.micro, args.campaign_smoke, args.dynamics_smoke,
         args.workload_smoke, args.examples_smoke, args.report_smoke,
+        args.serve_smoke,
     )
     if not any(requested):
         parser.error(
             "nothing to do (pass --micro, --campaign-smoke, "
-            "--dynamics-smoke, --workload-smoke, --examples-smoke "
-            "and/or --report-smoke)"
+            "--dynamics-smoke, --workload-smoke, --examples-smoke, "
+            "--report-smoke and/or --serve-smoke)"
         )
 
     smoke = None
@@ -754,6 +873,7 @@ def main(argv=None):
     workload = None
     examples = None
     report = None
+    serve = None
     if args.dynamics_smoke:
         dynamics = run_dynamics_smoke()
         print("dynamics smoke (hysteresis governor + watchdog recovery):")
@@ -770,7 +890,8 @@ def main(argv=None):
             return 2
         print("  storm throttled, recovered and repeated identically — ok")
         if not any((args.micro, args.campaign_smoke, args.workload_smoke,
-                    args.examples_smoke, args.report_smoke)):
+                    args.examples_smoke, args.report_smoke,
+                    args.serve_smoke)):
             return 0
     if args.workload_smoke:
         workload = run_workload_smoke()
@@ -790,7 +911,7 @@ def main(argv=None):
             return 2
         print("  declarative workloads deterministic and conserved — ok")
         if not any((args.micro, args.campaign_smoke, args.examples_smoke,
-                    args.report_smoke)):
+                    args.report_smoke, args.serve_smoke)):
             return 0
     if args.examples_smoke:
         examples = run_examples_smoke()
@@ -802,7 +923,8 @@ def main(argv=None):
             print("\nEXAMPLES SMOKE FAILED: {}".format(failure))
             return 2
         print("  every example ran clean — ok")
-        if not any((args.micro, args.campaign_smoke, args.report_smoke)):
+        if not any((args.micro, args.campaign_smoke, args.report_smoke,
+                    args.serve_smoke)):
             return 0
     if args.report_smoke:
         report = run_report_smoke()
@@ -825,6 +947,32 @@ def main(argv=None):
             print("\nREPORT SMOKE FAILED: {}".format(failure))
             return 2
         print("  report deterministic, compare gated the regression — ok")
+        if not any((args.micro, args.campaign_smoke, args.serve_smoke)):
+            return 0
+    if args.serve_smoke:
+        serve = run_serve_smoke()
+        print("serve smoke ({} cells, small platform):".format(
+            serve["cells"]))
+        print("  {:<36} {}".format("healthz ok", serve["health_ok"]))
+        print("  {:<36} {} executed ({})".format(
+            "first submission", serve["first_executed"],
+            serve["first_state"]))
+        print("  {:<36} {} executed, {} cached".format(
+            "resubmission", serve["second_executed"],
+            serve["second_cached"]))
+        print("  {:<36} {} executed, {} deduped".format(
+            "overlapping tenant", serve["tenant_executed"],
+            serve["tenant_deduped"]))
+        print("  {:<36} {}".format(
+            "stores byte-identical", serve["stores_identical"]))
+        print("  {:<36} {}".format(
+            "index persisted on shutdown", serve["index_persisted"]))
+        failure = check_serve_smoke(serve)
+        if failure is not None:
+            print("\nSERVE SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  daemon executed once, deduped the rest, shut down "
+              "clean — ok")
         if not args.micro and not args.campaign_smoke:
             return 0
     if args.campaign_smoke:
@@ -883,6 +1031,8 @@ def main(argv=None):
         result["examples_smoke"] = examples
     if report is not None:
         result["report_smoke"] = report
+    if serve is not None:
+        result["serve_smoke"] = serve
     if baseline:
         # Carry over auxiliary blocks (history, seed_reference, notes).
         for key, value in baseline.items():

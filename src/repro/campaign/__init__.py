@@ -20,7 +20,27 @@ remaining cells out across worker processes:
   ``campaign gc`` compaction, merged CSV/JSONL export;
 * :mod:`repro.campaign.paper` — the three canonical paper campaigns and
   the grouping that turns a finished campaign back into table rows or
-  Figure 4 panels.
+  Figure 4 panels;
+* :mod:`repro.campaign.serve` / :mod:`repro.campaign.client` — the
+  multi-tenant sweep daemon (``campaign serve``) and its typed HTTP
+  client (``campaign submit/status/wait``).
+
+One root, many tenants
+----------------------
+The daemon serves a single store root, and that root **is** the dedup
+scope: every tenant's campaigns are sibling directories under it, cell
+keys hash the full simulation payload, and a key computed once — by any
+tenant, via HTTP or via ``campaign --spec``, before or during the
+daemon's life — is never executed again for any other.  Live
+submissions dedup through the server's in-memory done map (cell keys
+route to one hash-sharded worker each, so overlapping tenants race-free
+execute each shared cell exactly once); campaigns computed before the
+daemon started resolve through the root's persistent
+:class:`~repro.campaign.index.StoreIndex`.  Results land as ordinary
+store-v2 records in each campaign's ``results.jsonl`` — byte-identical
+to the lines ``campaign --spec`` writes — so ``campaign
+ls/gc/export/report`` and the streaming analysis work unchanged on a
+served root.
 
 Store layout
 ------------
@@ -123,16 +143,22 @@ per task join only when set), so specs written before those fields
 existed keep their keys too.
 """
 
+from repro.campaign.client import CampaignClient, CampaignStatus, ServeError
 from repro.campaign.executor import CampaignReport, run_campaign, shard_of
 from repro.campaign.index import StoreIndex
+from repro.campaign.serve import CampaignServer
 from repro.campaign.spec import CampaignSpec, RunDescriptor
 from repro.campaign.store import ResultStore
 
 __all__ = [
+    "CampaignClient",
     "CampaignReport",
+    "CampaignServer",
     "CampaignSpec",
+    "CampaignStatus",
     "ResultStore",
     "RunDescriptor",
+    "ServeError",
     "StoreIndex",
     "run_campaign",
     "shard_of",

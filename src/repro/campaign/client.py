@@ -1,0 +1,203 @@
+"""Thin typed client for the :mod:`repro.campaign.serve` daemon.
+
+Stdlib-only (``urllib``): :class:`CampaignClient` wraps the daemon's
+HTTP surface in typed calls, decoding status payloads into
+:class:`CampaignStatus` and structured error bodies into
+:class:`ServeError`.  The CLI verbs ``campaign submit/status/wait`` are
+thin shells over this class; scripts can use it directly::
+
+    from repro.campaign.client import CampaignClient
+
+    client = CampaignClient("http://127.0.0.1:8642")
+    receipt = client.submit({"name": "sweep", "models": ["ffw"],
+                             "seeds": [1, 2], "base": "small"})
+    final = client.wait(receipt.id)
+    assert final.state == "completed" and final.failed == 0
+"""
+
+import dataclasses
+import json
+import time
+import urllib.error
+import urllib.request
+
+#: Default per-request timeout (seconds).  Requests are cheap — the
+#: daemon answers status from memory — so a stall means a dead server.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response, carrying the structured error body."""
+
+    def __init__(self, status, payload):
+        error = {}
+        if isinstance(payload, dict):
+            error = payload.get("error") or {}
+        super().__init__(
+            "HTTP {}: {} ({})".format(
+                status,
+                error.get("message", "no error body"),
+                error.get("type", "unknown"),
+            )
+        )
+        self.status = status
+        self.kind = error.get("type")
+        self.payload = payload
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignStatus:
+    """One campaign's decoded status payload."""
+
+    id: str
+    state: str
+    total: int
+    done: int
+    pending: int
+    cached: int
+    executed: int
+    deduped: int
+    failed: int
+    submissions: int
+    errors: tuple
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Decode a daemon status payload into a typed status."""
+        return cls(
+            id=payload["id"],
+            state=payload["state"],
+            total=payload["total"],
+            done=payload["done"],
+            pending=payload["pending"],
+            cached=payload["cached"],
+            executed=payload["executed"],
+            deduped=payload["deduped"],
+            failed=payload["failed"],
+            submissions=payload["submissions"],
+            errors=tuple(payload.get("errors", ())),
+        )
+
+    def as_dict(self):
+        """JSON-friendly dump (the ``--json`` payload of the CLI verbs)."""
+        data = dataclasses.asdict(self)
+        data["errors"] = list(self.errors)
+        return data
+
+
+class CampaignClient:
+    """Typed HTTP client for one ``campaign serve`` daemon."""
+
+    def __init__(self, url, timeout=DEFAULT_TIMEOUT):
+        self.base = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                parsed = json.loads(body)
+            except ValueError:
+                parsed = {"error": {"type": "opaque", "message": body}}
+            raise ServeError(exc.code, parsed) from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self):
+        """The liveness payload (raises on a dead or sick daemon)."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self):
+        """Server-wide counters."""
+        return self._request("GET", "/metrics")
+
+    def campaigns(self):
+        """Status of every registered campaign."""
+        return [
+            CampaignStatus.from_payload(payload)
+            for payload in self._request("GET", "/campaigns")["campaigns"]
+        ]
+
+    def submit(self, spec):
+        """Submit a campaign spec (dict, ``CampaignSpec``, or JSON path).
+
+        Returns the submission receipt as a :class:`CampaignStatus`;
+        a malformed spec raises :class:`ServeError` with the daemon's
+        structured 4xx body.
+        """
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        elif isinstance(spec, str):
+            with open(spec) as handle:
+                spec = json.load(handle)
+        return CampaignStatus.from_payload(
+            self._request("POST", "/campaigns", payload=spec)
+        )
+
+    def status(self, campaign_id):
+        """Current status of one campaign."""
+        return CampaignStatus.from_payload(
+            self._request("GET", "/campaigns/{}".format(campaign_id))
+        )
+
+    def wait(self, campaign_id, timeout=300.0, poll_s=0.05):
+        """Poll until the campaign leaves ``running``; returns the final
+        status.  Raises :class:`TimeoutError` when ``timeout`` elapses
+        first (the campaign keeps running server-side)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status.state != "running":
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "campaign {!r} still running after {}s "
+                    "({}/{} cells done)".format(
+                        campaign_id, timeout, status.done, status.total
+                    )
+                )
+            time.sleep(poll_s)
+
+    def events(self, campaign_id, follow=False):
+        """Yield the campaign's NDJSON progress events as dicts.
+
+        ``follow=True`` keeps the stream open until the campaign leaves
+        ``running`` — the live tail a dashboard would consume.
+        """
+        path = "/campaigns/{}/events".format(campaign_id)
+        if follow:
+            path += "?follow=1"
+        request = urllib.request.Request(
+            self.base + path, headers={"Accept": "application/x-ndjson"}
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                parsed = json.loads(body)
+            except ValueError:
+                parsed = {"error": {"type": "opaque", "message": body}}
+            raise ServeError(exc.code, parsed) from None
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))

@@ -18,6 +18,10 @@ Usage (after ``pip install -e .``):
     python -m repro.experiments.cli campaign export --format csv --out all.csv
     python -m repro.experiments.cli campaign report --root campaigns
     python -m repro.experiments.cli campaign compare old-root new-root
+    python -m repro.experiments.cli campaign serve --root campaigns --port 8642
+    python -m repro.experiments.cli campaign submit sweep.json --wait
+    python -m repro.experiments.cli campaign status sweep
+    python -m repro.experiments.cli campaign wait sweep --timeout 600
 
 The sweep subcommands are campaigns (:mod:`repro.campaign`): they shard
 cells across ``--processes`` workers (default: REPRO_PROCESSES env, then
@@ -35,7 +39,11 @@ compact + repair, streaming merged CSV/JSONL export), ``campaign
 report`` renders a self-contained static HTML report over a store root
 (constant-memory aggregation; :mod:`repro.analysis.report`), and
 ``campaign compare`` diffs two roots with automatic regression flagging
-(non-zero exit — the CI hook).  Each subcommand prints its artefact to
+(non-zero exit — the CI hook).  ``campaign serve`` runs the store root
+as a multi-tenant HTTP daemon (:mod:`repro.campaign.serve`) and
+``campaign submit/status/wait`` talk to it — every tenant's submissions
+dedup against each other and against pre-daemon campaigns through the
+shared root.  Each subcommand prints its artefact to
 stdout (progress goes to stderr); ``--json FILE`` additionally dumps the
 raw rows/series for downstream plotting.
 
@@ -51,6 +59,8 @@ from repro.analysis import report as analysis_report
 from repro.campaign import gc as store_gc
 from repro.campaign import paper
 from repro.campaign import rows as store_rows
+from repro.campaign import serve
+from repro.campaign.client import CampaignClient, ServeError
 from repro.campaign.executor import run_campaign
 from repro.campaign.index import campaign_dirs
 from repro.campaign.spec import CampaignSpec
@@ -284,6 +294,77 @@ def build_parser():
         help="page title (default: derived from the root's name)",
     )
     rp_p.add_argument("--json", metavar="FILE")
+
+    sv_p = subparser(
+        "campaign-serve",
+        help="run the multi-tenant sweep daemon over a store root "
+             "(alias: campaign serve)",
+    )
+    sv_p.add_argument(
+        "--root", metavar="DIR", default=DEFAULT_CAMPAIGN_ROOT,
+        help="store root every tenant's campaigns land under "
+             "(default: {})".format(DEFAULT_CAMPAIGN_ROOT),
+    )
+    sv_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    sv_p.add_argument(
+        "--port", type=int, default=serve.DEFAULT_PORT, metavar="N",
+        help="TCP port; 0 picks an ephemeral port "
+             "(default: {})".format(serve.DEFAULT_PORT),
+    )
+    sv_p.add_argument(
+        "--workers", type=int, default=2, metavar="K",
+        help="worker threads draining the cell queues; cells partition "
+             "deterministically by key hash (default: 2)",
+    )
+
+    def _add_client_arguments(parser):
+        parser.add_argument(
+            "--url", metavar="URL",
+            default="http://127.0.0.1:{}".format(serve.DEFAULT_PORT),
+            help="daemon base URL (default: http://127.0.0.1:{})".format(
+                serve.DEFAULT_PORT),
+        )
+        parser.add_argument("--json", metavar="FILE")
+
+    sb_p = subparser(
+        "campaign-submit",
+        help="submit a campaign spec to a running daemon "
+             "(alias: campaign submit)",
+    )
+    sb_p.add_argument("spec", metavar="FILE",
+                      help="JSON CampaignSpec to submit")
+    sb_p.add_argument(
+        "--wait", action="store_true",
+        help="block until the campaign leaves 'running' and report the "
+             "final status (non-zero exit on failed cells)",
+    )
+    sb_p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="--wait bound in seconds (default: 300)",
+    )
+    _add_client_arguments(sb_p)
+
+    st_p = subparser(
+        "campaign-status",
+        help="status of a submitted campaign (alias: campaign status)",
+    )
+    st_p.add_argument("id", metavar="ID", help="campaign id (spec name)")
+    _add_client_arguments(st_p)
+
+    wt_p = subparser(
+        "campaign-wait",
+        help="block until a submitted campaign finishes "
+             "(alias: campaign wait)",
+    )
+    wt_p.add_argument("id", metavar="ID", help="campaign id (spec name)")
+    wt_p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="wait bound in seconds (default: 300)",
+    )
+    _add_client_arguments(wt_p)
 
     cp_p = subparser(
         "campaign-compare",
@@ -720,6 +801,80 @@ def cmd_campaign_report(args):
     return 0
 
 
+def _print_serve_status(status):
+    """Key-value status block (the `run` row format)."""
+    data = status.as_dict()
+    errors = data.pop("errors")
+    for key, value in data.items():
+        print("{:<24} {}".format(key, value))
+    for error in errors:
+        print("{:<24} {}: {}".format(
+            "error", error.get("cell"), error.get("error")))
+
+
+def cmd_campaign_serve(args):
+    """``campaign serve``: run the sweep daemon until interrupted.
+
+    Prints the bound URL (stdout — the artefact a wrapper script needs,
+    especially with ``--port 0``), then serves until SIGINT; shutdown
+    drains the queues and refreshes the root's dedup index.
+    """
+    server = serve.CampaignServer(
+        args.root, workers=args.workers, host=args.host, port=args.port
+    )
+    print(server.url, flush=True)
+    print(
+        "serving store root {} with {} workers — Ctrl-C stops".format(
+            args.root, server.workers
+        ),
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    return 0
+
+
+def cmd_campaign_submit(args):
+    """``campaign submit``: post a spec file to a running daemon."""
+    client = CampaignClient(args.url)
+    try:
+        status = client.submit(args.spec)
+        if args.wait:
+            status = client.wait(status.id, timeout=args.timeout)
+    except ServeError as exc:
+        raise SystemExit("submit failed: {}".format(exc))
+    _print_serve_status(status)
+    _dump_json(args.json, status.as_dict())
+    return 1 if args.wait and status.failed else 0
+
+
+def cmd_campaign_status(args):
+    """``campaign status``: one campaign's live status."""
+    client = CampaignClient(args.url)
+    try:
+        status = client.status(args.id)
+    except ServeError as exc:
+        raise SystemExit("status failed: {}".format(exc))
+    _print_serve_status(status)
+    _dump_json(args.json, status.as_dict())
+    return 0
+
+
+def cmd_campaign_wait(args):
+    """``campaign wait``: block until a campaign finishes.
+
+    Exits non-zero when any cell failed — the scripting hook mirroring
+    ``campaign compare``.
+    """
+    client = CampaignClient(args.url)
+    try:
+        status = client.wait(args.id, timeout=args.timeout)
+    except (ServeError, TimeoutError) as exc:
+        raise SystemExit("wait failed: {}".format(exc))
+    _print_serve_status(status)
+    _dump_json(args.json, status.as_dict())
+    return 1 if status.failed else 0
+
+
 def cmd_campaign_compare(args):
     """``campaign compare``: regression gate between two store roots.
 
@@ -749,10 +904,17 @@ COMMANDS = {
     "campaign-export": cmd_campaign_export,
     "campaign-report": cmd_campaign_report,
     "campaign-compare": cmd_campaign_compare,
+    "campaign-serve": cmd_campaign_serve,
+    "campaign-submit": cmd_campaign_submit,
+    "campaign-status": cmd_campaign_status,
+    "campaign-wait": cmd_campaign_wait,
 }
 
 #: ``campaign <action>`` spellings routed to ``campaign-<action>``.
-MANAGE_ACTIONS = ("ls", "gc", "export", "report", "compare")
+MANAGE_ACTIONS = (
+    "ls", "gc", "export", "report", "compare",
+    "serve", "submit", "status", "wait",
+)
 
 
 def main(argv=None):

@@ -1,0 +1,263 @@
+"""Serve torture layer: the daemon under concurrency, crashes, restarts.
+
+In the spirit of ``test_store_torture.py``, but one layer up: a live
+:class:`~repro.campaign.serve.CampaignServer` (fake ``run_fn`` with an
+instrumented per-key execution log — no simulations) is driven through
+the failure modes a long-lived multi-tenant service actually meets:
+
+* N concurrent tenants submitting overlapping grids → every shared
+  cell executes **exactly once** on the root, and the shared record
+  lines are byte-identical across every tenant's store;
+* a cell dying mid-execution (``run_fn`` raises — the in-process
+  analogue of a killed worker) → the campaign reports ``failed`` with
+  no torn records, and a resubmission completes executing only the
+  missing cell;
+* a hard shutdown (``drain=False``) abandoning queued cells → restart
+  + resubmit completes the grid with every cell still executed exactly
+  once across both daemon lifetimes;
+* a clean restart over a finished root → resubmission is a pure cache
+  hit (zero executions) performing exactly **one** ``results.jsonl``
+  scan (the ``ResultStore.scans`` pin from ``test_executor.py``), and a
+  brand-new tenant dedups against the previous life through the
+  persistent index.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.campaign.client import CampaignClient
+from repro.campaign.serve import CampaignServer
+from repro.campaign.store import ResultStore
+from repro.experiments.runner import RunResult
+
+
+def make_result(descriptor):
+    """Deterministic function of the cell only — so every tenant's
+    execution of a shared key encodes the byte-identical record."""
+    return RunResult(
+        model=descriptor.model,
+        seed=descriptor.seed,
+        faults=descriptor.faults,
+        settling_time_ms=1.0 + descriptor.seed,
+        settled_performance=0.9,
+        recovery_time_ms=2.0 + descriptor.faults,
+        recovered_performance=0.8,
+        series=None,
+        app_stats={},
+        noc_stats={},
+        total_switches=descriptor.seed,
+    )
+
+
+class ExecutionLog:
+    """Counting ``run_fn``: how often did each cell key really execute?"""
+
+    def __init__(self, delay_s=0.0, poison=None):
+        self.lock = threading.Lock()
+        self.counts = {}
+        self.delay_s = delay_s
+        #: Keys that raise on their first execution (crash injection).
+        self.poison = set(poison or ())
+
+    def __call__(self, descriptor):
+        key = descriptor.key()
+        with self.lock:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            first = self.counts[key] == 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if first and key in self.poison:
+            raise RuntimeError("worker killed mid-cell ({})".format(key[:8]))
+        return make_result(descriptor)
+
+
+def grid_payload(name, seeds=(1, 2, 3)):
+    return {
+        "name": name,
+        "models": ["none", "ni"],
+        "seeds": list(seeds),
+        "fault_counts": [0, 2],
+        "base": "small",
+    }
+
+
+def store_lines(root, name):
+    """``key -> raw line`` of one campaign's results stream."""
+    lines = {}
+    with open(os.path.join(root, name, "results.jsonl"), "rb") as handle:
+        for line in handle:
+            lines[json.loads(line)["key"]] = line
+    return lines
+
+
+def test_concurrent_tenants_execute_shared_cells_exactly_once(tmp_path):
+    root = str(tmp_path)
+    log = ExecutionLog(delay_s=0.002)
+    names = ["tenant-{}".format(i) for i in range(6)]
+    with CampaignServer(root, workers=4, run_fn=log) as daemon:
+        client = CampaignClient(daemon.url)
+        errors = []
+
+        def tenant(name):
+            try:
+                client.submit(grid_payload(name))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant, args=(name,)) for name in names
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        finals = {name: client.wait(name, timeout=60.0) for name in names}
+
+    grid = grid_payload("x")
+    cells = len(grid["models"]) * len(grid["seeds"]) * len(
+        grid["fault_counts"]
+    )
+    # Exactly once: every shared key executed a single time on the root,
+    # no matter how many tenants raced to submit it.
+    assert log.counts and all(n == 1 for n in log.counts.values())
+    assert len(log.counts) == cells
+    for final in finals.values():
+        assert final.state == "completed"
+        assert final.executed + final.deduped == cells
+    assert sum(final.executed for final in finals.values()) == cells
+
+    # Every tenant's store holds the byte-identical line per shared key.
+    reference = store_lines(root, names[0])
+    assert set(reference) == set(log.counts)
+    for name in names[1:]:
+        assert store_lines(root, name) == reference
+
+
+def test_concurrent_same_name_submissions_are_idempotent(tmp_path):
+    root = str(tmp_path)
+    log = ExecutionLog(delay_s=0.002)
+    payload = grid_payload("shared-name")
+    with CampaignServer(root, workers=3, run_fn=log) as daemon:
+        client = CampaignClient(daemon.url)
+        threads = [
+            threading.Thread(target=client.submit, args=(payload,))
+            for _ in range(5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = client.wait("shared-name", timeout=60.0)
+    assert final.state == "completed"
+    assert all(n == 1 for n in log.counts.values())
+    assert len(store_lines(root, "shared-name")) == final.total
+
+
+def test_killed_worker_resubmit_completes_without_torn_records(tmp_path):
+    root = str(tmp_path)
+    payload = grid_payload("crashy")
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec.from_dict(payload)
+    victim = spec.expand()[0].key()
+    log = ExecutionLog(poison=[victim])
+    with CampaignServer(root, workers=2, run_fn=log) as daemon:
+        client = CampaignClient(daemon.url)
+        client.submit(payload)
+        wounded = client.wait("crashy", timeout=60.0)
+        assert wounded.state == "failed"
+        assert wounded.failed == 1
+        assert wounded.executed == wounded.total - 1
+        assert wounded.errors[0]["key"] == victim
+        assert "worker killed" in wounded.errors[0]["error"]
+
+        # No torn records: every surviving line parses and none is the
+        # victim's.
+        lines = store_lines(root, "crashy")
+        assert len(lines) == wounded.total - 1
+        assert victim not in lines
+
+        # Resubmit: only the missing cell executes, the rest are cache
+        # hits; the poison only fires on first execution.
+        client.submit(payload)
+        healed = client.wait("crashy", timeout=60.0)
+        assert healed.state == "completed"
+        assert healed.executed == 1
+        assert healed.cached == healed.total - 1
+        assert healed.failed == 0
+    assert log.counts[victim] == 2  # the crash, then the retry
+    assert set(store_lines(root, "crashy")) == {
+        descriptor.key() for descriptor in spec.expand()
+    }
+
+
+def test_hard_shutdown_then_restart_completes_exactly_once(tmp_path):
+    root = str(tmp_path)
+    payload = grid_payload("abandoned", seeds=(1, 2, 3, 4))
+    log = ExecutionLog(delay_s=0.02)
+    first = CampaignServer(root, workers=2, run_fn=log)
+    first.start()
+    client = CampaignClient(first.url)
+    client.submit(payload)
+    time.sleep(0.05)  # let a few cells finish, leave the rest queued
+    first.shutdown(drain=False)
+    done_before = sum(log.counts.values())
+    assert done_before < 16  # the point of the test: cells were abandoned
+
+    with CampaignServer(root, workers=2, run_fn=log) as second:
+        client = CampaignClient(second.url)
+        client.submit(payload)
+        final = client.wait("abandoned", timeout=60.0)
+    assert final.state == "completed"
+    assert final.failed == 0
+    assert final.cached == done_before
+    assert final.executed == final.total - done_before
+    # Exactly once across both daemon lifetimes.
+    assert all(n == 1 for n in log.counts.values())
+    assert len(store_lines(root, "abandoned")) == final.total
+
+
+def test_restart_resubmit_is_single_scan_cache_hit(tmp_path, monkeypatch):
+    root = str(tmp_path)
+    payload = grid_payload("restarted")
+    with CampaignServer(root, workers=2, run_fn=ExecutionLog()) as daemon:
+        client = CampaignClient(daemon.url)
+        client.submit(payload)
+        first = client.wait("restarted", timeout=60.0)
+        assert first.state == "completed"
+
+    def refuse(descriptor):  # pragma: no cover - the pin is that it never runs
+        raise AssertionError("already-done cell re-executed after restart")
+
+    scans = []
+    real_scan = ResultStore._scan_file
+
+    def counting_scan(self, path):
+        scans.append(os.path.relpath(path, root))
+        return real_scan(self, path)
+
+    monkeypatch.setattr(ResultStore, "_scan_file", counting_scan)
+    with CampaignServer(root, workers=2, run_fn=refuse) as daemon:
+        client = CampaignClient(daemon.url)
+        client.submit(payload)
+        resumed = client.wait("restarted", timeout=60.0)
+        # A brand-new tenant over the same grid dedups through the
+        # persistent index — still zero executions.
+        client.submit(grid_payload("fresh-tenant"))
+        fresh = client.wait("fresh-tenant", timeout=60.0)
+    assert resumed.state == "completed"
+    assert resumed.executed == 0
+    assert resumed.cached == resumed.total
+    assert fresh.state == "completed"
+    assert fresh.executed == 0
+    assert fresh.deduped == fresh.total
+    # The single-scan pin: resuming the submitted campaign read its
+    # results stream exactly once — never a per-key re-read.
+    resumed_scans = [
+        path for path in scans
+        if path == os.path.join("restarted", "results.jsonl")
+    ]
+    assert len(resumed_scans) == 1
