@@ -51,6 +51,13 @@ campaign-smoke:
 dynamics-smoke:
 	$(PYTHON) -m benchmarks.harness --dynamics-smoke
 
+# Event-timer gate: ticked and event AIM timer modes must be
+# bit-identical on a faulted FFW cell whose timeout machinery actually
+# fires, an idle-heavy run must dispatch >= 3x fewer kernel events in
+# event mode, and campaign cell keys must stay conserved.
+timer-smoke:
+	$(PYTHON) -m benchmarks.harness --timer-smoke
+
 # Declarative-workload gate: a burst workload must run and repeat
 # bit-identically, the builtin fork_join spec must reproduce the legacy
 # application exactly, workload-free cell keys must replicate the
@@ -77,5 +84,5 @@ serve-smoke:
 	$(PYTHON) -m benchmarks.harness --serve-smoke
 
 .PHONY: test lint coverage bench bench-baseline campaign-smoke \
-	dynamics-smoke workload-smoke examples-smoke report-smoke \
-	serve-smoke
+	dynamics-smoke timer-smoke workload-smoke examples-smoke \
+	report-smoke serve-smoke

@@ -99,6 +99,33 @@ def test_ni_model_event_rate(benchmark):
     assert benchmark(run) >= 0
 
 
+def test_tick_overhead_idle_ffw(benchmark):
+    """Timer-tick overhead on an idle-heavy FFW platform.
+
+    Sparse traffic (one generation per 200 simulated ms) leaves the AIM
+    timer layer as the dominant event class, so this micro isolates what
+    the tick train costs when (almost) nothing is armed — the population
+    the event timer mode retires.  It runs with the default ``timer_mode``
+    so the bench history tracks whichever scheduling mode ships.
+    """
+
+    def run():
+        platform = CenturionPlatform(
+            PlatformConfig.small(
+                horizon_us=1_000_000,
+                fault_time_us=500_000,
+                generation_period_us=200_000,
+                metrics_window_us=50_000,
+            ),
+            model_name="ffw",
+            seed=7,
+        )
+        platform.run()
+        return platform.sim.dispatched_events
+
+    assert benchmark(run) > 0
+
+
 def test_small_platform_run(benchmark):
     """Full-stack 4x4 run, 50 simulated ms.
 

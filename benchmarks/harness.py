@@ -44,6 +44,19 @@ rate the platform cannot sustain.  ``--examples-smoke``
 (``make examples-smoke``) executes every ``examples/*.py`` script and
 fails on a non-zero exit.
 
+Timer smoke gate
+----------------
+``--timer-smoke`` (``make timer-smoke``) gates the event-driven AIM
+timer mode: a faulted FFW cell (with a deadline margin wide enough that
+the timeout machinery demonstrably arms and fires) must produce
+bit-identical rows, metrics series, NoC counters and application
+statistics under ``timer_mode="ticked"`` and ``"event"``; an idle-heavy
+FFW run must dispatch at least 3× fewer kernel events in event mode
+(``Simulator.dispatched_events`` — a deterministic counter, so the bound
+is noise-free); and the default config must keep ``timer_mode`` out of
+its canonical payload so every pre-existing campaign cell key is
+conserved.
+
 Report smoke gate
 -----------------
 ``--report-smoke`` (``make report-smoke``) gates the sweep-scale
@@ -324,6 +337,90 @@ def check_dynamics_smoke(smoke):
         )
     if not smoke["identical"]:
         return "dynamics-smoke: repeated run was not bit-identical"
+    return None
+
+
+def run_timer_smoke(seed=12):
+    """Event-timer gate evidence (PR 10).
+
+    Three legs: a faulted FFW cell whose timeout machinery demonstrably
+    fires must be bit-identical between ``timer_mode`` settings; an
+    idle-heavy FFW run must dispatch >= 3x fewer kernel events in event
+    mode; and ``timer_mode`` must stay out of the default canonical
+    config payload (campaign cell keys conserved).
+    """
+    from repro.experiments.runner import run_single
+    from repro.platform.centurion import CenturionPlatform
+    from repro.platform.config import PlatformConfig
+
+    def faulted(mode):
+        config = PlatformConfig.small(
+            horizon_us=200_000,
+            fault_time_us=100_000,
+            timer_mode=mode,
+            ffw_deadline_margin_us=16_000,
+        )
+        return run_single(
+            "ffw", seed=seed, faults=3, config=config, keep_series=True
+        )
+
+    ticked, event = faulted("ticked"), faulted("event")
+    identical = (
+        ticked.as_row() == event.as_row()
+        and ticked.series.as_dict() == event.series.as_dict()
+        and ticked.noc_stats == event.noc_stats
+        and ticked.app_stats == event.app_stats
+    )
+
+    def idle_dispatched(mode):
+        config = PlatformConfig.small(
+            horizon_us=1_000_000,
+            fault_time_us=500_000,
+            generation_period_us=200_000,
+            metrics_window_us=50_000,
+            timer_mode=mode,
+        )
+        platform = CenturionPlatform(config, model_name="ffw", seed=7)
+        platform.run()
+        return platform.sim.dispatched_events
+
+    idle_ticked = idle_dispatched("ticked")
+    idle_event = idle_dispatched("event")
+
+    return {
+        "switches": ticked.as_row()["total_switches"],
+        "identical": identical,
+        "idle_ticked_dispatched": idle_ticked,
+        "idle_event_dispatched": idle_event,
+        "keys_conserved": "timer_mode" not in PlatformConfig().canonical(),
+    }
+
+
+def check_timer_smoke(smoke):
+    """Failure message for a timer report, or ``None`` when it passed."""
+    if smoke["switches"] == 0:
+        return (
+            "timer-smoke: the FFW timeout never fired — the identity leg "
+            "is vacuous"
+        )
+    if not smoke["identical"]:
+        return (
+            "timer-smoke: ticked and event timer modes diverged on the "
+            "faulted FFW cell"
+        )
+    if smoke["idle_ticked_dispatched"] < 3 * smoke["idle_event_dispatched"]:
+        return (
+            "timer-smoke: event mode dispatched {} events vs {} ticked "
+            "(expected a >= 3x drop)".format(
+                smoke["idle_event_dispatched"],
+                smoke["idle_ticked_dispatched"],
+            )
+        )
+    if not smoke["keys_conserved"]:
+        return (
+            "timer-smoke: timer_mode leaked into the default canonical "
+            "config (campaign keys would re-mint)"
+        )
     return None
 
 
@@ -829,6 +926,12 @@ def main(argv=None):
              "repeats must be bit-identical)",
     )
     parser.add_argument(
+        "--timer-smoke", action="store_true",
+        help="run the event-timer gate (ticked and event timer modes "
+             "bit-identical on a faulted FFW cell, >= 3x fewer dispatched "
+             "events when idle-heavy, campaign keys conserved)",
+    )
+    parser.add_argument(
         "--workload-smoke", action="store_true",
         help="run the declarative-workload gate (burst runs repeat "
              "bit-identically, fork_join spec matches the legacy app, "
@@ -857,23 +960,46 @@ def main(argv=None):
     args = parser.parse_args(argv)
     requested = (
         args.micro, args.campaign_smoke, args.dynamics_smoke,
-        args.workload_smoke, args.examples_smoke, args.report_smoke,
-        args.serve_smoke,
+        args.timer_smoke, args.workload_smoke, args.examples_smoke,
+        args.report_smoke, args.serve_smoke,
     )
     if not any(requested):
         parser.error(
             "nothing to do (pass --micro, --campaign-smoke, "
-            "--dynamics-smoke, --workload-smoke, --examples-smoke, "
-            "--report-smoke and/or --serve-smoke)"
+            "--dynamics-smoke, --timer-smoke, --workload-smoke, "
+            "--examples-smoke, --report-smoke and/or --serve-smoke)"
         )
 
     smoke = None
     dedup = None
     dynamics = None
+    timer = None
     workload = None
     examples = None
     report = None
     serve = None
+    if args.timer_smoke:
+        timer = run_timer_smoke()
+        print("timer smoke (event-driven AIM wakeups vs the tick poll):")
+        print("  {:<36} {}".format(
+            "FFW switches on the faulted cell", timer["switches"]))
+        print("  {:<36} {}".format(
+            "ticked == event (all observables)", timer["identical"]))
+        print("  {:<36} {} ticked / {} event".format(
+            "idle-heavy dispatched events",
+            timer["idle_ticked_dispatched"],
+            timer["idle_event_dispatched"]))
+        print("  {:<36} {}".format(
+            "campaign keys conserved", timer["keys_conserved"]))
+        failure = check_timer_smoke(timer)
+        if failure is not None:
+            print("\nTIMER SMOKE FAILED: {}".format(failure))
+            return 2
+        print("  event mode bit-identical and >= 3x fewer events — ok")
+        if not any((args.micro, args.campaign_smoke, args.dynamics_smoke,
+                    args.workload_smoke, args.examples_smoke,
+                    args.report_smoke, args.serve_smoke)):
+            return 0
     if args.dynamics_smoke:
         dynamics = run_dynamics_smoke()
         print("dynamics smoke (hysteresis governor + watchdog recovery):")
@@ -1025,6 +1151,8 @@ def main(argv=None):
         result["dedup_smoke"] = dedup
     if dynamics is not None:
         result["dynamics_smoke"] = dynamics
+    if timer is not None:
+        result["timer_smoke"] = timer
     if workload is not None:
         result["workload_smoke"] = workload
     if examples is not None:

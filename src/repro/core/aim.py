@@ -11,11 +11,40 @@ program (a :class:`repro.core.models.base.IntelligenceModel`).  The AIM
 * exposes the knob bank to the model, and
 * accepts RCAP-style parameter writes so the Experiment Controller can
   retune models remotely at runtime.
+
+Timer modes
+-----------
+The tick train runs in one of two bit-identical modes (the
+``timer_mode`` knob on :class:`repro.platform.config.PlatformConfig`):
+
+``"ticked"``
+    The classic poll: one shared periodic event per period relays
+    ``on_tick`` to every AIM whether or not any model has a timer armed.
+``"event"``
+    Demand-driven: the bank asks each model *when* it next needs a tick
+    (:meth:`~repro.core.models.base.IntelligenceModel.next_wakeup`) and
+    schedules a wakeup only at the first grid tick at or after that
+    deadline — idle nodes schedule nothing.  Wakeups ride the
+    no-allocation :meth:`~repro.sim.engine.Simulator.post_at` path and
+    stale ones (the model disarmed or re-armed since) strand as no-ops
+    behind a due-ness re-check, the same trick
+    :class:`~repro.sim.process.PeriodicProcess` plays with epochs — no
+    tombstones on the hot path.  Because wakeups are quantised UP to the
+    exact grid the periodic train would have used, and relayed in the
+    same registration order at a priority strictly after the metrics
+    sampler, firing times, RNG draw order and every observable are
+    conserved; if any registered model does real per-tick work
+    (``next_wakeup`` → ``None``) the bank degenerates to the periodic
+    train, grid-aligned, and the two modes coincide exactly.
 """
 
 from repro.core.knobs import standard_knob_bank
+from repro.core.models.base import IDLE
 from repro.core.monitors import standard_monitor_bank
 from repro.sim.process import PeriodicProcess
+
+#: Allowed values for the platform ``timer_mode`` knob.
+TIMER_MODES = ("ticked", "event")
 
 
 class AimTickBank:
@@ -27,20 +56,53 @@ class AimTickBank:
     *single* periodic event that relays the tick to each registered AIM in
     registration (node) order — observably identical to per-AIM tick
     events, at a fraction of the kernel traffic: 128 heap events per
-    period become one.  This is the biggest single event-count reduction
-    in a platform run (timer ticks outnumber packet events several-fold).
+    period become one.
+
+    In ``"event"`` mode the bank goes further: no periodic train at all.
+    Models report their timer demand through ``next_wakeup`` and the bank
+    posts one wakeup per armed grid tick (deduplicated across nodes), so a
+    platform whose models are all idle or purely reactive schedules zero
+    timer events.  See the module docstring for the equivalence argument.
     """
 
-    def __init__(self, sim, period_us):
+    def __init__(self, sim, period_us, timer_mode="ticked"):
+        if timer_mode not in TIMER_MODES:
+            raise ValueError(
+                "timer_mode must be one of {}, got {!r}".format(
+                    TIMER_MODES, timer_mode
+                )
+            )
         self.sim = sim
+        self.period_us = int(period_us)
+        self.timer_mode = timer_mode
+        self.event_mode = timer_mode == "event"
         self._aims = []
         self._process = PeriodicProcess(
             sim, period_us, self._tick_all, priority=sim.PRIORITY_SAMPLE
         )
+        #: Grid anchor: the bank's first-register time.  The periodic train
+        #: fires at ``anchor + k*period`` (k >= 1); event-mode wakeups are
+        #: quantised to the same grid.
+        self._anchor = None
+        #: Grid times with a wakeup already posted (event mode).
+        self._pending = set()
+        #: True once event mode has fallen back to the periodic train
+        #: because a registered model does real per-tick work.
+        self._degenerate = False
 
     def register(self, aim):
-        """Add an AIM to the shared train (starts it on first use)."""
+        """Add an AIM to the bank (starts the train on first use).
+
+        In event mode nothing is scheduled here: the AIM's model is
+        uploaded after registration and announces its demand through
+        :meth:`note_state`.
+        """
+        if self._anchor is None:
+            self._anchor = self.sim.now
         self._aims.append(aim)
+        if self.event_mode and not self._degenerate:
+            aim._event_bank = self
+            return
         if not self._process.running:
             self._process.start()
 
@@ -52,6 +114,93 @@ class AimTickBank:
             model = aim.model
             if aim._ticking and model is not None and not aim.pe.halted:
                 model.on_tick(aim, now)
+
+    # -- event mode ----------------------------------------------------------
+
+    def note_state(self, aim):
+        """Re-read one AIM's timer demand after a state change.
+
+        Called by the AIM after every relayed monitor event, model upload,
+        RCAP write and restart.  Arming (or moving a deadline earlier)
+        always happens inside one of those hooks, so the bank never misses
+        a wakeup; disarming needs no action at all — the already-posted
+        wakeup strands as a no-op.
+        """
+        model = aim.model
+        if model is None or not aim._ticking or aim.pe.halted:
+            return
+        wakeup = model.next_wakeup(self.sim.now)
+        if wakeup is None:
+            self._degenerate_to_periodic()
+        elif wakeup is not IDLE:
+            self._request(wakeup)
+
+    def _request(self, deadline):
+        """Post a wakeup at the first grid tick at or after ``deadline``."""
+        anchor = self._anchor
+        period = self.period_us
+        k = -(-(deadline - anchor) // period)  # ceil division
+        if k < 1:
+            k = 1
+        t = anchor + k * period
+        now = self.sim.now
+        if t <= now:
+            # Deadline quantised into the past (an RCAP write shrank an
+            # armed timeout): the earliest equivalent tick is the next
+            # grid tick strictly after now.
+            t = anchor + ((now - anchor) // period + 1) * period
+        pending = self._pending
+        if t not in pending:
+            pending.add(t)
+            self.sim.post_at(
+                t, lambda: self._fire(t), priority=self.sim.PRIORITY_WAKEUP
+            )
+
+    def _fire(self, t):
+        """Relay a wakeup tick to every *due* model, registration order.
+
+        Models whose deadline has not arrived (or that disarmed since the
+        wakeup was posted) are skipped — their ``on_tick`` is a guaranteed
+        no-op by the ``next_wakeup`` contract, so skipping is observably
+        identical to the periodic train calling it.
+        """
+        self._pending.discard(t)
+        if self._degenerate:
+            return  # the periodic train took over; strand this wakeup
+        now = self.sim.now
+        fired = []
+        for aim in self._aims:
+            model = aim.model
+            if aim._ticking and model is not None and not aim.pe.halted:
+                wakeup = model.next_wakeup(now)
+                if wakeup is not None and wakeup is not IDLE and wakeup <= now:
+                    model.on_tick(aim, now)
+                    fired.append(aim)
+        for aim in fired:
+            # A fired model may have re-armed inside on_tick without a
+            # monitor event (e.g. FFW picking up fresh evidence).
+            self.note_state(aim)
+
+    def _degenerate_to_periodic(self):
+        """Fall back to the periodic train: some model ticks every period.
+
+        The train starts grid-aligned (next grid tick strictly after now),
+        so its firing times are exactly the ones ticked mode would produce,
+        and every AIM's ``_event_bank`` link is cleared so the relay hooks
+        stop paying the demand re-read.  Pending wakeups strand in
+        :meth:`_fire`.
+        """
+        if self._degenerate:
+            return
+        self._degenerate = True
+        for aim in self._aims:
+            aim._event_bank = None
+        now = self.sim.now
+        period = self.period_us
+        anchor = self._anchor if self._anchor is not None else now
+        delay = anchor + ((now - anchor) // period + 1) * period - now
+        if not self._process.running:
+            self._process.start(initial_delay=delay)
 
 
 class ArtificialIntelligenceModule:
@@ -72,10 +221,14 @@ class ArtificialIntelligenceModule:
         Optional shared :class:`AimTickBank`.  When given, this AIM rides
         the platform-wide tick event instead of owning a periodic process;
         standalone AIMs (``None``) keep their own train.
+    timer_mode:
+        Only meaningful for standalone AIMs (``tick_bank is None``):
+        ``"event"`` gives the AIM a private event-mode bank instead of a
+        periodic process.  Bank-riding AIMs inherit the bank's mode.
     """
 
     def __init__(self, sim, pe, router, network, model=None,
-                 tick_period_us=1000, tick_bank=None):
+                 tick_period_us=1000, tick_bank=None, timer_mode="ticked"):
         self.sim = sim
         self.pe = pe
         self.router = router
@@ -85,6 +238,13 @@ class ArtificialIntelligenceModule:
         self.knobs = standard_knob_bank(pe, router)
         self.model = None
         self._ticking = False
+        #: Set by an event-mode :class:`AimTickBank` at registration; the
+        #: relay hooks re-announce timer demand through it after every
+        #: monitor event.  ``None`` in ticked/degenerate mode, keeping the
+        #: classic path one attribute test away from unchanged.
+        self._event_bank = None
+        if tick_bank is None and timer_mode == "event":
+            tick_bank = AimTickBank(sim, tick_period_us, timer_mode="event")
         if tick_bank is None:
             self._tick = PeriodicProcess(
                 sim, tick_period_us, self._on_tick,
@@ -124,6 +284,9 @@ class ArtificialIntelligenceModule:
             self._ticking = True
             if self._tick is not None and not self._tick.running:
                 self._tick.start()
+            bank = self._event_bank
+            if bank is not None:
+                bank.note_state(self)
         else:
             self._ticking = False
             if self._tick is not None:
@@ -141,12 +304,22 @@ class ArtificialIntelligenceModule:
         Tick-bank AIMs just flip their gate back on (the shared train
         never stopped); standalone AIMs restart their own process.  An
         AIM with no model stays silent, exactly as at construction.
+
+        The model's :meth:`~repro.core.models.base.IntelligenceModel.
+        on_restart` hook runs first, in every timer mode: a deadline armed
+        before the fault is stale evidence (the node's task and queues
+        were wiped), so e.g. FFW disarms instead of firing an immediate
+        switch against a pre-fault candidate.
         """
         if self.model is None:
             return
         self._ticking = True
+        self.model.on_restart(self)
         if self._tick is not None and not self._tick.running:
             self._tick.start()
+        bank = self._event_bank
+        if bank is not None:
+            bank.note_state(self)
 
     # -- router monitor relay ---------------------------------------------------
 
@@ -161,12 +334,18 @@ class ArtificialIntelligenceModule:
         self.model.on_packet_routed(
             self, packet, to_internal=to_internal, injected=injected
         )
+        bank = self._event_bank
+        if bank is not None:
+            bank.note_state(self)
 
     def on_packet_dropped(self, router, packet):
         """Router drop-event relay."""
         if self.model is None or self.pe.halted:
             return
         self.model.on_packet_dropped(self, packet)
+        bank = self._event_bank
+        if bank is not None:
+            bank.note_state(self)
 
     # -- processing element monitor relay -----------------------------------------
 
@@ -174,16 +353,25 @@ class ArtificialIntelligenceModule:
         """PE internal-sink monitor relay."""
         if self.model is not None and not pe.halted:
             self.model.on_internal_sink(self, packet)
+            bank = self._event_bank
+            if bank is not None:
+                bank.note_state(self)
 
     def on_execution_complete(self, pe, task_id):
         """PE execution-complete monitor relay."""
         if self.model is not None and not pe.halted:
             self.model.on_execution_complete(self, task_id)
+            bank = self._event_bank
+            if bank is not None:
+                bank.note_state(self)
 
     def on_task_changed(self, pe, old, new):
         """PE task-change monitor relay."""
         if self.model is not None and not pe.halted:
             self.model.on_task_changed(self, old, new)
+            bank = self._event_bank
+            if bank is not None:
+                bank.note_state(self)
 
     # -- timer tick -----------------------------------------------------------------
 
@@ -222,6 +410,11 @@ class ArtificialIntelligenceModule:
             raise RuntimeError("no model uploaded to AIM {}".format(
                 self.node_id))
         self.model.configure(**params)
+        # A retune can move an armed deadline (e.g. shrinking the FFW
+        # timeout), so re-announce the timer demand.
+        bank = self._event_bank
+        if bank is not None:
+            bank.note_state(self)
 
     def __repr__(self):
         model_name = self.model.name if self.model is not None else None

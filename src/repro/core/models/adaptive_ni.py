@@ -75,6 +75,10 @@ class AdaptiveNetworkInteractionModel(NetworkInteractionModel):
             for unit in self.pathway.thresholds.values():
                 unit.set_threshold(adapted)
 
+    def next_wakeup(self, now):
+        """Back to periodic: the EMA decays every tick, unlike plain NI."""
+        return None
+
     @property
     def current_threshold(self):
         """The threshold currently applied to every task unit."""

@@ -32,6 +32,19 @@ class FACTORS:
     ALL = EXTERNAL | INTERNAL
 
 
+class _Idle:
+    """Sentinel type for :data:`IDLE` (printable, single instance)."""
+
+    def __repr__(self):
+        return "IDLE"
+
+
+#: Returned by :meth:`IntelligenceModel.next_wakeup` when the model has no
+#: timer armed: ``on_tick`` is a guaranteed no-op until a monitor event
+#: re-arms it, so the event-mode tick bank schedules nothing.
+IDLE = _Idle()
+
+
 class IntelligenceModel:
     """Base class for AIM-hosted intelligence programs.
 
@@ -94,6 +107,36 @@ class IntelligenceModel:
 
     def on_tick(self, aim, now):
         """Periodic timer tick from the AIM."""
+
+    # -- timer demand protocol (event-driven tick mode) ----------------------
+
+    def next_wakeup(self, now):
+        """When does this model next need :meth:`on_tick`?
+
+        The contract, relied on by the event-mode
+        :class:`~repro.core.aim.AimTickBank`:
+
+        * ``None`` (the default) — the model does real per-tick work;
+          tick it every period, exactly as the classic polled mode does.
+        * :data:`IDLE` — ``on_tick`` is a guaranteed no-op until a monitor
+          event re-arms the model; schedule nothing.
+        * an absolute time (µs) — ``on_tick`` is a guaranteed no-op at any
+          ``now`` strictly before that time; the bank may skip ticks until
+          the first grid tick at or after it.
+
+        Models that return :data:`IDLE` or a deadline promise that every
+        state change moving the wakeup *earlier* happens inside a monitor
+        hook (the bank re-reads the demand after each relayed event).
+        """
+        return None
+
+    def on_restart(self, aim):
+        """The hosting node recovered from a fault.
+
+        Clear stale timer/decision state here: the node's task and queues
+        were wiped by the fault, so a deadline armed before death must not
+        fire against pre-fault evidence.  Default: nothing to clear.
+        """
 
     def __repr__(self):
         return "{}(tasks={})".format(type(self).__name__, list(self.task_ids))

@@ -30,7 +30,7 @@ rebalances the task census toward service-weighted demand (FFW's advantage
 over NI in the paper's results).
 """
 
-from repro.core.models.base import FACTORS, IntelligenceModel
+from repro.core.models.base import FACTORS, IDLE, IntelligenceModel
 
 #: The paper's task-switch timeout: "the task switch timeout is set to 20ms".
 DEFAULT_FFW_TIMEOUT_US = 20_000
@@ -130,6 +130,24 @@ class ForagingForWorkModel(IntelligenceModel):
         self.switches_fired += 1
         if aim.current_task() != target:
             aim.switch_task(target)
+
+    def next_wakeup(self, now):
+        """Armed deadline, or :data:`IDLE` — FFW is a pure timeout poller.
+
+        ``on_tick`` fires only when ``now - armed_at >= timeout_us``, so
+        until ``armed_at + timeout_us`` it is a no-op and the event-mode
+        bank can skip every tick in between.  Arming happens exclusively
+        in monitor hooks (late transit packet, drop), which the bank
+        observes.
+        """
+        if self.armed_at is None:
+            return IDLE
+        return self.armed_at + self.timeout_us
+
+    def on_restart(self, aim):
+        """Disarm: a timeout armed before the fault is stale evidence."""
+        self.armed_at = None
+        self.candidate_task = None
 
     def _pick_target(self, aim):
         """The candidate late task, else the router queue's newest task."""

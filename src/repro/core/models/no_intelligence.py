@@ -7,7 +7,7 @@ behaviour; the model itself does nothing.  It exists so every experiment
 runs through an identical code path regardless of configuration.
 """
 
-from repro.core.models.base import IntelligenceModel
+from repro.core.models.base import IDLE, IntelligenceModel
 
 
 class NoIntelligenceModel(IntelligenceModel):
@@ -16,3 +16,7 @@ class NoIntelligenceModel(IntelligenceModel):
     name = "none"
     model_number = None
     factors = frozenset()
+
+    def next_wakeup(self, now):
+        """Inert: ``on_tick`` is always a no-op, never tick."""
+        return IDLE

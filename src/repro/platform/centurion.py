@@ -138,8 +138,13 @@ class CenturionPlatform:
         self.pes = {}
         self.aims = {}
         # All AIMs tick in lockstep, so they share one periodic event
-        # (AimTickBank) instead of one event per node per period.
-        self._aim_ticker = AimTickBank(self.sim, self.config.aim_tick_us)
+        # (AimTickBank) instead of one event per node per period; in
+        # event timer mode the bank schedules wakeups only on demand.
+        self._aim_ticker = AimTickBank(
+            self.sim,
+            self.config.aim_tick_us,
+            timer_mode=self.config.timer_mode,
+        )
         for node_id in topology.node_ids():
             pe = ProcessingElement(
                 self.sim,

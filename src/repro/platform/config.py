@@ -65,6 +65,12 @@ class PlatformConfig:
     ni_threshold: int = 24
     ffw_timeout_us: int = 20_000
     ffw_deadline_margin_us: int = 8_000
+    #: AIM timer-tick scheduling (canonical-optional, like ``fast_path``
+    #: an A/B knob whose settings are pinned bit-identical): ``"event"``
+    #: schedules wakeups only when a model's timer demands one (idle nodes
+    #: schedule nothing), ``"ticked"`` polls every node every period.  See
+    #: :mod:`repro.core.aim`.
+    timer_mode: str = "event"
 
     # -- experiment harness -------------------------------------------------------------
     initial_mapping: str = "random"
@@ -108,6 +114,10 @@ class PlatformConfig:
         if self.routing_mode not in ("xy", "adaptive"):
             raise ValueError(
                 "unknown routing mode {!r}".format(self.routing_mode)
+            )
+        if self.timer_mode not in ("ticked", "event"):
+            raise ValueError(
+                "unknown timer mode {!r}".format(self.timer_mode)
             )
         if self.fault_time_us > self.horizon_us:
             raise ValueError("fault time beyond horizon")
@@ -168,6 +178,7 @@ class PlatformConfig:
         "watchdog_recovery",
         "watchdog_timeout_us",
         "recovery_remap",
+        "timer_mode",
     ))
 
     def canonical(self):

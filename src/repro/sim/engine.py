@@ -35,9 +35,13 @@ are performance-motivated:
 * cancellations are counted, and the queue compacts itself (filters dead
   entries and re-heapifies) once tombstones dominate, so cancel-heavy
   users of the public ``Event.cancel`` API cannot bloat the heap (the
-  in-tree hot paths avoid cancellation entirely — PeriodicProcess strands
-  stale ticks behind an epoch instead — so this is a robustness bound
-  for extension code, not a steady-state cost);
+  in-tree hot paths avoid cancellation entirely — PeriodicProcess and the
+  event-mode AIM timer wakeups strand stale work behind an epoch / a
+  demand re-check instead — so this is a robustness bound for extension
+  code, not a steady-state cost); the handle's queue link is severed when
+  its entry leaves the heap, so cancelling an already-dispatched event is
+  a no-op and the tombstone counter stays exact (it counts dead entries
+  actually present in the heap, never phantoms);
 * :meth:`Simulator.try_advance` is the express-path gate used by
   :mod:`repro.noc.network`: it advances the clock inline when — and only
   when — doing so is indistinguishable from dispatching a scheduled event.
@@ -179,6 +183,9 @@ class EventQueue:
             time, priority, seq, handle, callback = heapq.heappop(heap)
             if handle is None:
                 return Event(time, priority, seq, callback)
+            # The entry has left the heap: sever the handle's queue link so
+            # a later cancel() cannot count a tombstone that is not there.
+            handle._queue = None
             if not handle.cancelled:
                 return handle
             self._tombstones -= 1
@@ -192,6 +199,7 @@ class EventQueue:
             handle = entry[3]
             if handle is not None and handle.cancelled:
                 heapq.heappop(heap)
+                handle._queue = None
                 self._tombstones -= 1
                 continue
             return entry[0]
@@ -200,10 +208,11 @@ class EventQueue:
     def _compact(self):
         """Drop tombstoned entries and restore the heap invariant.
 
-        The cancellation counter can over-estimate (a handle cancelled
-        after its entry was already popped still increments it), so the
-        rebuild recomputes the truth: after compaction the heap holds live
-        entries only and the counter is zero.
+        The cancellation counter is exact — every pop site severs the
+        handle's queue link, so cancelling an already-dispatched event is
+        a no-op and the counter only ever counts dead entries actually
+        present in the heap.  After compaction the heap holds live entries
+        only and the counter is zero.
         """
         heap = self._heap
         if len(heap) >= 2 * self._tombstones:
@@ -233,6 +242,14 @@ class Simulator:
     PRIORITY_NORMAL = 10
     #: Priority for monitor sampling — runs after normal events at a tick.
     PRIORITY_SAMPLE = 20
+    #: Priority for event-mode AIM timer wakeups — strictly after SAMPLE.
+    #: In ticked mode the AIM bank's tick for time T is always re-posted
+    #: later (larger seq) than the metrics sampler's event for T, so the
+    #: sampler dispatches first at coincident timestamps.  Event-mode
+    #: wakeups are posted at arbitrary arm times and would win that seq
+    #: race; a dedicated lower-urgency priority preserves the
+    #: sampler-before-tick ordering and hence bit-identity.
+    PRIORITY_WAKEUP = 21
     #: Priority for control-plane actions (fault injection) — runs first.
     PRIORITY_CONTROL = 0
 
@@ -366,9 +383,11 @@ class Simulator:
                     break
                 pop(heap)
                 handle = entry[3]
-                if handle is not None and handle.cancelled:
-                    queue._tombstones -= 1
-                    continue
+                if handle is not None:
+                    handle._queue = None
+                    if handle.cancelled:
+                        queue._tombstones -= 1
+                        continue
                 self.now = time
                 entry[4]()
                 dispatched += 1
@@ -410,6 +429,7 @@ class Simulator:
             handle = entry[3]
             if handle is not None and handle.cancelled:
                 heapq.heappop(heap)
+                handle._queue = None
                 queue._tombstones -= 1
                 continue
             if entry[0] <= time:

@@ -6,12 +6,19 @@ node), the metric sampler (every 10 ms).  It reschedules itself after each
 tick and can be stopped and restarted; restarting re-aligns the phase to
 "now + period".
 
-Periodic ticks are the most numerous events in a platform run (128 AIMs
-ticking every 2 ms dwarf the packet traffic), so the tick train is built
-for the kernel's cheapest path: each ``start()`` creates one closure that
-re-posts itself through the handle-less :meth:`repro.sim.engine.Simulator.
-post`, and stopping is an epoch bump that strands the in-flight tick as a
-no-op instead of allocating and tombstoning cancellable events.
+Periodic ticks were historically the most numerous events in a platform
+run (128 AIMs ticking every 2 ms dwarf the packet traffic), so the tick
+train is built for the kernel's cheapest path: each ``start()`` creates
+one closure that re-posts itself through the handle-less
+:meth:`repro.sim.engine.Simulator.post`, and stopping is an epoch bump
+that strands the in-flight tick as a no-op instead of allocating and
+tombstoning cancellable events.  The event-driven AIM timer mode
+(:mod:`repro.core.aim`) now removes that tick storm entirely for models
+that only poll a timeout — it borrows the same stranding idea: stale
+wakeups fire as no-ops behind a due-ness re-check rather than being
+cancelled — leaving the periodic train to the processes that genuinely
+do work every period (packet sources, the metric sampler, per-tick
+models).
 """
 
 

@@ -327,3 +327,92 @@ class TestTryAdvance:
         sim.run_until(100)
         assert observed == [False]
         assert sim.now == 100
+
+
+class TestPhantomTombstones:
+    """Regression: cancelling an already-dispatched event is a no-op.
+
+    Before the fix, ``Event.cancel()`` after dispatch still incremented
+    ``EventQueue._tombstones`` (the handle kept its queue link), so the
+    counter drifted above the number of dead entries actually in the heap
+    and later real cancels triggered spurious O(n) compactions of
+    mostly-live heaps.  The pop sites now sever the link, making the
+    counter exact: it always equals the live tombstone population.
+    """
+
+    def test_cancel_after_queue_pop_is_a_counter_noop(self):
+        queue = EventQueue()
+        event = queue.push(10, 10, lambda: None)
+        assert queue.pop() is event
+        event.cancel()
+        assert event.cancelled
+        assert queue._tombstones == 0
+
+    def test_cancel_after_run_until_dispatch_is_a_counter_noop(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        handles = [sim.schedule(t, lambda: None) for t in range(100)]
+        sim.run_until(200)
+        for handle in handles:
+            handle.cancel()
+        assert sim._queue._tombstones == 0
+
+    def test_counter_tracks_live_tombstones_exactly(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        queue = sim._queue
+        dispatched = [sim.schedule(t, lambda: None) for t in range(10)]
+        pending = [sim.schedule(500 + t, lambda: None) for t in range(10)]
+        sim.run_until(100)
+        for handle in dispatched:
+            handle.cancel()  # late cancels: must not count
+        for handle in pending[:4]:
+            handle.cancel()  # real tombstones in the heap
+        live = sum(
+            1 for entry in queue._heap
+            if entry[3] is not None and entry[3].cancelled
+        )
+        assert queue._tombstones == live == 4
+
+    def test_try_advance_tombstone_skip_severs_the_link(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        blocker = sim.schedule(30, lambda: None)
+        blocker.cancel()
+        outcome = []
+        sim.schedule(10, lambda: outcome.append(sim.try_advance(50)))
+        sim.run_until(100)
+        assert outcome == [True]
+        blocker.cancel()  # second cancel of a popped handle: no phantom
+        assert sim._queue._tombstones == 0
+
+    def test_peek_time_tombstone_skip_severs_the_link(self):
+        queue = EventQueue()
+        dead = queue.push(10, 10, lambda: None)
+        queue.push(20, 10, lambda: None)
+        dead.cancel()
+        assert queue.peek_time() == 20
+        dead.cancel()
+        dead.cancelled = False
+        dead.cancel()  # even a forced re-cancel cannot reach the queue
+        assert queue._tombstones == 0
+
+    def test_no_spurious_compaction_from_phantom_counts(self):
+        """100 late cancels must not push a live heap into compaction."""
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        early = [sim.schedule(t, lambda: None) for t in range(100)]
+        sim.run_until(150)
+        live = [sim.schedule(1000 + t, lambda: None) for t in range(100)]
+        for handle in early:
+            handle.cancel()
+        # One real cancel: with phantom counts this used to cross the
+        # 64-tombstone threshold and rebuild a 99%-live heap.
+        live[0].cancel()
+        queue = sim._queue
+        assert queue._tombstones == 1
+        assert len(queue._heap) == 100
